@@ -1,0 +1,149 @@
+// Command xdb runs cross-database queries against an in-process TPC-H
+// testbed — a quick way to poke at the middleware: show delegation plans,
+// execute queries, inspect phase timings and transfer volumes.
+//
+// Usage:
+//
+//	xdb [flags] <sql | @queryname>
+//
+// The query is either literal SQL over the TPC-H global schema or a paper
+// query by name (@Q3, @Q5, @Q7, @Q8, @Q9, @Q10).
+//
+// Flags:
+//
+//	-td TD1|TD2|TD3   table distribution (default TD1)
+//	-sf <f>           TPC-H scale factor (default 0.01)
+//	-plan             print the delegation plan without executing
+//	-system xdb|garlic|presto|sclera  which system executes (default xdb)
+//	-workers <n>      presto worker count (default 4)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"xdb"
+	"xdb/internal/tpch"
+)
+
+func main() {
+	td := flag.String("td", "TD1", "table distribution (TD1, TD2, TD3)")
+	sf := flag.Float64("sf", 0.01, "TPC-H scale factor")
+	planOnly := flag.Bool("plan", false, "print the delegation plan without executing")
+	system := flag.String("system", "xdb", "executing system: xdb, garlic, presto, sclera")
+	workers := flag.Int("workers", 4, "presto worker count")
+	bushy := flag.Bool("bushy", false, "allow bushy delegation plans (footnote-5 extension)")
+	flag.Parse()
+
+	if flag.NArg() < 1 {
+		fmt.Fprintln(os.Stderr, "usage: xdb [flags] <sql | @Q3>")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+	sql := strings.Join(flag.Args(), " ")
+	if strings.HasPrefix(sql, "@") {
+		q, err := tpch.Query(strings.TrimPrefix(sql, "@"))
+		if err != nil {
+			fatal(err)
+		}
+		sql = q
+	}
+
+	dist, err := tpch.TD(*td)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "starting %d DBMS nodes, loading TPC-H sf=%g under %s...\n",
+		len(dist.Nodes()), *sf, *td)
+	cluster, err := xdb.NewCluster(dist.Nodes(), xdb.ClusterConfig{
+		Options: xdb.Options{BushyPlans: *bushy},
+	})
+	if err != nil {
+		fatal(err)
+	}
+	defer cluster.Close()
+	if err := cluster.LoadTPCH(*td, *sf); err != nil {
+		fatal(err)
+	}
+
+	if *planOnly {
+		plan, bd, err := cluster.PlanOnly(sql)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println("delegation plan (per-task SQL):")
+		desc, err := plan.Describe()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(desc)
+		fmt.Printf("\nphases: prep=%v lopt=%v ann=%v (consult rounds: %d)\n",
+			bd.Prep, bd.Lopt, bd.Ann, bd.ConsultRounds)
+		return
+	}
+
+	cluster.ResetTransfers()
+	start := time.Now()
+	switch *system {
+	case "xdb":
+		res, err := cluster.Query(sql)
+		if err != nil {
+			fatal(err)
+		}
+		total := time.Since(start)
+		fmt.Print(xdb.FormatResult(res.Result))
+		fmt.Printf("\n%d rows in %v via %s (exec on %s)\n",
+			len(res.Rows), total.Round(time.Millisecond), *system, res.RootNode)
+		bd := res.Breakdown
+		fmt.Printf("phases: prep=%v lopt=%v ann=%v deleg=%v exec=%v (consult rounds: %d)\n",
+			bd.Prep.Round(time.Millisecond), bd.Lopt.Round(time.Microsecond),
+			bd.Ann.Round(time.Millisecond), bd.Deleg.Round(time.Millisecond),
+			bd.Exec.Round(time.Millisecond), bd.ConsultRounds)
+		fmt.Println("delegation plan:")
+		fmt.Print(res.Plan)
+	case "garlic", "presto":
+		var m *xdb.MediatorSystem
+		if *system == "garlic" {
+			m, err = cluster.NewGarlic()
+		} else {
+			m, err = cluster.NewPresto(*workers)
+		}
+		if err != nil {
+			fatal(err)
+		}
+		res, st, err := m.Query(sql)
+		if err != nil {
+			fatal(err)
+		}
+		total := time.Since(start)
+		fmt.Print(xdb.FormatResult(res))
+		fmt.Printf("\n%d rows in %v via %s\n", len(res.Rows), total.Round(time.Millisecond), m.Name())
+		fmt.Printf("fetch=%v local=%v fragments=%d rows_fetched=%d bytes_fetched=%d\n",
+			st.FetchTime.Round(time.Millisecond), st.LocalTime.Round(time.Millisecond),
+			st.Fragments, st.RowsFetched, st.BytesFetched)
+	case "sclera":
+		s, err := cluster.NewSclera()
+		if err != nil {
+			fatal(err)
+		}
+		res, st, err := s.Query(sql)
+		if err != nil {
+			fatal(err)
+		}
+		total := time.Since(start)
+		fmt.Print(xdb.FormatResult(res))
+		fmt.Printf("\n%d rows in %v via Sclera (moved %d rows through the coordinator in %d steps)\n",
+			len(res.Rows), total.Round(time.Millisecond), st.RowsMoved, st.Steps)
+	default:
+		fatal(fmt.Errorf("unknown system %q", *system))
+	}
+	fmt.Printf("total inter-node transfer: %.1f KB\n", float64(cluster.TransferTotal())/1024)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "xdb:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,59 @@
+package xdb_test
+
+import (
+	"fmt"
+	"log"
+
+	"xdb"
+)
+
+// ExampleCluster_Query shows the complete flow: start two autonomous DBMS
+// engines, load a table on each, and run a cross-database join through the
+// XDB middleware — which delegates the whole execution to the engines.
+func ExampleCluster_Query() {
+	cluster, err := xdb.NewCluster([]string{"db1", "db2"}, xdb.ClusterConfig{
+		DefaultVendor: xdb.VendorTest,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cluster.Close()
+
+	people := xdb.NewSchema(
+		xdb.Column{Name: "id", Type: xdb.TypeInt},
+		xdb.Column{Name: "name", Type: xdb.TypeString},
+	)
+	if err := cluster.Load("db1", "people", people, []xdb.Row{
+		{xdb.NewInt(1), xdb.NewString("ada")},
+		{xdb.NewInt(2), xdb.NewString("grace")},
+	}); err != nil {
+		log.Fatal(err)
+	}
+	visits := xdb.NewSchema(
+		xdb.Column{Name: "person_id", Type: xdb.TypeInt},
+		xdb.Column{Name: "site", Type: xdb.TypeString},
+	)
+	if err := cluster.Load("db2", "visits", visits, []xdb.Row{
+		{xdb.NewInt(1), xdb.NewString("lab")},
+		{xdb.NewInt(1), xdb.NewString("office")},
+		{xdb.NewInt(2), xdb.NewString("lab")},
+	}); err != nil {
+		log.Fatal(err)
+	}
+
+	res, err := cluster.Query(`
+		SELECT p.name, COUNT(*) AS visits
+		FROM people p, visits v
+		WHERE p.id = v.person_id
+		GROUP BY p.name
+		ORDER BY p.name`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, row := range res.Rows {
+		fmt.Printf("%s: %d\n", row[0], row[1].Int())
+	}
+	// Output:
+	// ada: 2
+	// grace: 1
+}

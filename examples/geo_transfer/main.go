@@ -1,0 +1,70 @@
+// Geo transfer: the data-movement economics of Sec. VI-C (Fig. 14).
+//
+// Deploys the same TPC-H workload twice — once with all DBMSes on-premise
+// and the middleware in the cloud (ONP), once with every DBMS in its own
+// data center (GEO) — and compares the bytes a managed-cloud deployment
+// would be billed for under XDB versus the Garlic mediator. XDB's in-situ
+// execution keeps intermediates between the DBMSes; the mediator ships
+// everything to the cloud.
+//
+// Run with: go run ./examples/geo_transfer
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"xdb"
+	"xdb/internal/tpch"
+)
+
+func main() {
+	const sf = 0.005
+	fmt.Printf("%-10s %-8s %18s %18s %14s\n", "scenario", "query", "XDB cloud bytes", "Garlic cloud bytes", "reduction")
+	for _, scenario := range []string{"onprem", "geo"} {
+		for _, qn := range []string{"Q3", "Q5"} {
+			xdbBytes := run(scenario, qn, sf, true)
+			garlicBytes := run(scenario, qn, sf, false)
+			fmt.Printf("%-10s %-8s %15.1f KB %15.1f KB %13.0fx\n",
+				scenario, qn, float64(xdbBytes)/1024, float64(garlicBytes)/1024,
+				float64(garlicBytes)/float64(xdbBytes))
+		}
+	}
+	fmt.Println("\n(cloud bytes = traffic with at least one endpoint at the cloud site,")
+	fmt.Println(" what a managed querying service bills for — cf. AWS Athena pricing, Sec. VI-C)")
+}
+
+func run(scenario, query string, sf float64, useXDB bool) int64 {
+	td, err := tpch.TD("TD1")
+	if err != nil {
+		log.Fatal(err)
+	}
+	cluster, err := xdb.NewCluster(td.Nodes(), xdb.ClusterConfig{
+		DefaultVendor: xdb.VendorTest, // semantics only: no CPU throttling
+		Scenario:      scenario,
+		TimeScale:     1e6, // and no shaping delays: this example measures bytes
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cluster.Close()
+	if err := cluster.LoadTPCH("TD1", sf); err != nil {
+		log.Fatal(err)
+	}
+
+	cluster.ResetTransfers()
+	if useXDB {
+		if _, err := cluster.Query(tpch.Queries[query]); err != nil {
+			log.Fatal(err)
+		}
+	} else {
+		garlic, err := cluster.NewGarlic()
+		if err != nil {
+			log.Fatal(err)
+		}
+		if _, _, err := garlic.Query(tpch.Queries[query]); err != nil {
+			log.Fatal(err)
+		}
+	}
+	return cluster.Topology().CloudBytes()
+}

@@ -1,0 +1,134 @@
+// Pandemic: the paper's motivating scenario (Sec. II-A).
+//
+// The Municipal Office of Credo runs three autonomous DBMSes — CDB
+// (citizens' department), VDB (vaccination center), HDB (health
+// department). The chief health officer's analytical query (Fig. 3 of the
+// paper) measures COVID-19 antibodies by age group and vaccine type, which
+// requires joining data across all three silos. XDB executes it in-situ:
+// VDB joins vaccines with vaccinations, pipelines the result to CDB, which
+// joins citizens and feeds HDB, which aggregates over measurements.
+//
+// Run with: go run ./examples/pandemic
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"xdb"
+)
+
+func main() {
+	cluster, err := xdb.NewCluster([]string{"CDB", "VDB", "HDB"}, xdb.ClusterConfig{
+		DefaultVendor: xdb.VendorPostgres,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cluster.Close()
+	loadScenario(cluster)
+
+	// The query of Fig. 3, ellipsis expanded.
+	const query = `
+		SELECT v.type, AVG(m.u_ml) AS avg_u_ml,
+		  CASE WHEN c.age BETWEEN 20 AND 30 THEN '20-30'
+		       WHEN c.age BETWEEN 30 AND 40 THEN '30-40'
+		       WHEN c.age BETWEEN 40 AND 50 THEN '40-50'
+		       ELSE '50+' END AS age_group
+		FROM CDB.Citizen c, VDB.Vaccines v, VDB.Vaccination vn, HDB.Measurements m
+		WHERE c.id = vn.c_id AND c.id = m.c_id AND v.id = vn.v_id AND c.age > 20
+		GROUP BY age_group, v.type
+		ORDER BY age_group, v.type`
+
+	plan, _, err := cluster.PlanOnly(query)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("Delegation plan (cf. Fig. 5a of the paper):")
+	fmt.Print(plan)
+
+	res, err := cluster.Query(query)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nAntibody levels by age group and vaccine type:")
+	fmt.Println(xdb.FormatResult(res.Result))
+
+	led := cluster.Topology().Ledger()
+	fmt.Println("Inter-node transfers during execution:")
+	fmt.Print(led)
+}
+
+func loadScenario(cluster *xdb.Cluster) {
+	citizens := xdb.NewSchema(
+		xdb.Column{Name: "id", Type: xdb.TypeInt},
+		xdb.Column{Name: "name", Type: xdb.TypeString},
+		xdb.Column{Name: "age", Type: xdb.TypeInt},
+		xdb.Column{Name: "address", Type: xdb.TypeString},
+	)
+	var crows []xdb.Row
+	for i := 0; i < 2000; i++ {
+		crows = append(crows, xdb.Row{
+			xdb.NewInt(int64(i)),
+			xdb.NewString(fmt.Sprintf("citizen-%04d", i)),
+			xdb.NewInt(int64(15 + (i*7)%75)),
+			xdb.NewString(fmt.Sprintf("%d Credo Lane", i%200)),
+		})
+	}
+	must(cluster.Load("CDB", "Citizen", citizens, crows))
+
+	vaccines := xdb.NewSchema(
+		xdb.Column{Name: "id", Type: xdb.TypeInt},
+		xdb.Column{Name: "name", Type: xdb.TypeString},
+		xdb.Column{Name: "type", Type: xdb.TypeString},
+		xdb.Column{Name: "manufacturer", Type: xdb.TypeString},
+	)
+	must(cluster.Load("VDB", "Vaccines", vaccines, []xdb.Row{
+		{xdb.NewInt(1), xdb.NewString("CredoVax"), xdb.NewString("mRNA"), xdb.NewString("CredoPharma")},
+		{xdb.NewInt(2), xdb.NewString("SiloShield"), xdb.NewString("vector"), xdb.NewString("DataBio")},
+		{xdb.NewInt(3), xdb.NewString("FedJab"), xdb.NewString("protein"), xdb.NewString("QueryLabs")},
+	}))
+
+	vaccination := xdb.NewSchema(
+		xdb.Column{Name: "c_id", Type: xdb.TypeInt},
+		xdb.Column{Name: "v_id", Type: xdb.TypeInt},
+		xdb.Column{Name: "date", Type: xdb.TypeDate},
+	)
+	var vnrows []xdb.Row
+	for i := 0; i < 2000; i++ {
+		if i%5 == 4 {
+			continue // some citizens are unvaccinated
+		}
+		vnrows = append(vnrows, xdb.Row{
+			xdb.NewInt(int64(i)),
+			xdb.NewInt(int64(1 + i%3)),
+			xdb.DateFromYMD(2021, time.Month(1+(i/100)%12), 1+i%28),
+		})
+	}
+	must(cluster.Load("VDB", "Vaccination", vaccination, vnrows))
+
+	measurements := xdb.NewSchema(
+		xdb.Column{Name: "id", Type: xdb.TypeInt},
+		xdb.Column{Name: "c_id", Type: xdb.TypeInt},
+		xdb.Column{Name: "date", Type: xdb.TypeDate},
+		xdb.Column{Name: "u_ml", Type: xdb.TypeFloat},
+	)
+	var mrows []xdb.Row
+	for i := 0; i < 6000; i++ {
+		c := i % 2000
+		mrows = append(mrows, xdb.Row{
+			xdb.NewInt(int64(100000 + i)),
+			xdb.NewInt(int64(c)),
+			xdb.DateFromYMD(2021, time.Month(1+(i/500)%12), 1+i%28),
+			xdb.NewFloat(float64(30+(i*13)%200) + float64(c%10)/10),
+		})
+	}
+	must(cluster.Load("HDB", "Measurements", measurements, mrows))
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

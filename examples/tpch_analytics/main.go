@@ -1,0 +1,103 @@
+// TPC-H analytics: XDB versus the Mediator-Wrapper baselines.
+//
+// Loads TPC-H data (scaled down) across four DBMSes under the paper's
+// table distribution TD1, then runs cross-database queries through XDB,
+// the Garlic-like single-node mediator, and the Presto-like scaled-out
+// mediator, reporting runtimes and transfer volumes side by side — a
+// miniature of the paper's Fig. 9.
+//
+// Run with: go run ./examples/tpch_analytics [scale-factor]
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+	"time"
+
+	"xdb"
+	"xdb/internal/tpch"
+)
+
+func main() {
+	sf := 0.01
+	if len(os.Args) > 1 {
+		v, err := strconv.ParseFloat(os.Args[1], 64)
+		if err != nil {
+			log.Fatalf("bad scale factor %q: %v", os.Args[1], err)
+		}
+		sf = v
+	}
+
+	td, err := tpch.TD("TD1")
+	if err != nil {
+		log.Fatal(err)
+	}
+	cluster, err := xdb.NewCluster(td.Nodes(), xdb.ClusterConfig{
+		DefaultVendor: xdb.VendorPostgres,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cluster.Close()
+
+	fmt.Printf("loading TPC-H sf=%g under TD1 (lineitem on db1, customer+orders on db2, ...)\n", sf)
+	if err := cluster.LoadTPCH("TD1", sf); err != nil {
+		log.Fatal(err)
+	}
+
+	garlic, err := cluster.NewGarlic()
+	if err != nil {
+		log.Fatal(err)
+	}
+	presto, err := cluster.NewPresto(4)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("\n%-6s %-12s %-12s %-12s %14s\n", "query", "XDB", "Garlic", "Presto-4", "XDB transfer")
+	for _, qn := range []string{"Q3", "Q5", "Q10"} {
+		sql := tpch.Queries[qn]
+
+		cluster.ResetTransfers()
+		start := time.Now()
+		res, err := cluster.Query(sql)
+		if err != nil {
+			log.Fatalf("xdb %s: %v", qn, err)
+		}
+		xdbTime := time.Since(start)
+		xdbBytes := cluster.TransferTotal()
+
+		start = time.Now()
+		gres, _, err := garlic.Query(sql)
+		if err != nil {
+			log.Fatalf("garlic %s: %v", qn, err)
+		}
+		garlicTime := time.Since(start)
+
+		start = time.Now()
+		pres, _, err := presto.Query(sql)
+		if err != nil {
+			log.Fatalf("presto %s: %v", qn, err)
+		}
+		prestoTime := time.Since(start)
+
+		if len(gres.Rows) != len(res.Rows) || len(pres.Rows) != len(res.Rows) {
+			log.Fatalf("%s: result cardinality mismatch: xdb=%d garlic=%d presto=%d",
+				qn, len(res.Rows), len(gres.Rows), len(pres.Rows))
+		}
+		fmt.Printf("%-6s %-12v %-12v %-12v %11.1f KB\n",
+			qn, xdbTime.Round(time.Millisecond), garlicTime.Round(time.Millisecond),
+			prestoTime.Round(time.Millisecond), float64(xdbBytes)/1024)
+	}
+
+	fmt.Println("\nQ3 result via XDB:")
+	res, err := cluster.Query(tpch.Queries["Q3"])
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(xdb.FormatResult(res.Result))
+	fmt.Println("Delegation plan:")
+	fmt.Print(res.Plan)
+}

@@ -1,0 +1,3 @@
+module xdb
+
+go 1.22

@@ -1,0 +1,162 @@
+// Package connector implements XDB's DBMS connectors (DCs): the thin,
+// per-DBMS components through which the middleware deploys DDL, gathers
+// metadata and statistics, and "consults" the engines for cost estimates
+// during plan annotation (Sec. IV-B2). Connectors also calibrate the
+// engines' mutually incompatible cost units into a common currency
+// (footnote 6 of the paper).
+package connector
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"xdb/internal/dialect"
+	"xdb/internal/engine"
+	"xdb/internal/sqlparser"
+	"xdb/internal/sqltypes"
+	"xdb/internal/wire"
+)
+
+// Connector is XDB's handle on one underlying DBMS.
+type Connector struct {
+	// Node is the DBMS's node name — also the annotation the optimizer
+	// assigns to operators placed on it.
+	Node string
+	// Addr is the engine's wire address.
+	Addr string
+	// Vendor identifies the dialect and profile of the DBMS.
+	Vendor engine.Vendor
+	// Dialect renders DDL for the DBMS.
+	Dialect dialect.Dialect
+
+	client *wire.Client
+	// calibration converts the remote's cost units into XDB's common
+	// currency (multiplicative). 1.0 before Calibrate is called.
+	calibration float64
+	// probes counts consulting round trips (EXPLAIN/cost/stats RPCs), for
+	// the Fig. 15 breakdown analysis.
+	probes atomic.Int64
+}
+
+// New creates a connector that issues requests from the given client
+// (typically owned by the middleware node).
+func New(node, addr string, vendor engine.Vendor, client *wire.Client) *Connector {
+	return &Connector{
+		Node:        node,
+		Addr:        addr,
+		Vendor:      vendor,
+		Dialect:     dialect.ForVendor(vendor),
+		client:      client,
+		calibration: 1.0,
+	}
+}
+
+// Probes returns the number of consulting round trips made so far.
+func (c *Connector) Probes() int64 { return c.probes.Load() }
+
+// ResetProbes clears the probe counter (called per query by the breakdown
+// instrumentation).
+func (c *Connector) ResetProbes() { c.probes.Store(0) }
+
+// Calibrate aligns the DBMS's cost units with XDB's common currency by
+// probing the cost of a canonical operator whose true cost XDB defines to
+// be its input cardinality. This is the "simple calibration approach" of
+// the paper's footnote 6.
+func (c *Connector) Calibrate() error {
+	const canonicalRows = 100000
+	c.probes.Add(1)
+	raw, err := c.client.Cost(c.Addr, c.Node, engine.CostScan, canonicalRows, 0, 0)
+	if err != nil {
+		return fmt.Errorf("connector %s: calibrate: %w", c.Node, err)
+	}
+	if raw <= 0 {
+		return fmt.Errorf("connector %s: calibrate: non-positive probe cost %v", c.Node, raw)
+	}
+	c.calibration = canonicalRows / raw
+	return nil
+}
+
+// Calibration returns the current unit-conversion factor.
+func (c *Connector) Calibration() float64 { return c.calibration }
+
+// Exec deploys a DDL statement.
+func (c *Connector) Exec(ddl string) error {
+	return c.client.Exec(c.Addr, c.Node, ddl)
+}
+
+// Query runs a SELECT and streams results (used by the mediator baselines
+// and the XDB client).
+func (c *Connector) Query(sql string) (*engine.Result, error) {
+	return c.client.QueryAll(c.Addr, c.Node, sql)
+}
+
+// QueryStream runs a SELECT and returns the result schema and streaming
+// iterator.
+func (c *Connector) QueryStream(sql string) (*sqltypes.Schema, engine.RowIter, error) {
+	return c.client.Query(c.Addr, c.Node, sql)
+}
+
+// Explain fetches calibrated cost and row estimates for a query on the
+// DBMS.
+func (c *Connector) Explain(sql string) (cost, rows float64, err error) {
+	c.probes.Add(1)
+	info, err := c.client.Explain(c.Addr, c.Node, sql)
+	if err != nil {
+		return 0, 0, fmt.Errorf("connector %s: explain: %w", c.Node, err)
+	}
+	return info.Cost * c.calibration, info.Rows, nil
+}
+
+// Stats fetches table statistics.
+func (c *Connector) Stats(table string) (*engine.TableStats, error) {
+	c.probes.Add(1)
+	st, err := c.client.Stats(c.Addr, c.Node, table)
+	if err != nil {
+		return nil, fmt.Errorf("connector %s: stats(%s): %w", c.Node, table, err)
+	}
+	return st, nil
+}
+
+// TableSchema fetches the column schema of a relation on the DBMS.
+func (c *Connector) TableSchema(table string) (*sqltypes.Schema, error) {
+	c.probes.Add(1)
+	schema, err := c.client.TableSchema(c.Addr, c.Node, table)
+	if err != nil {
+		return nil, fmt.Errorf("connector %s: schema(%s): %w", c.Node, table, err)
+	}
+	return schema, nil
+}
+
+// CostOperator consults the DBMS for the calibrated cost of an operator
+// over hypothetical cardinalities — one "consultation roundtrip" of
+// Sec. IV-B2.
+func (c *Connector) CostOperator(kind engine.CostKind, left, right, out float64) (float64, error) {
+	c.probes.Add(1)
+	raw, err := c.client.Cost(c.Addr, c.Node, kind, left, right, out)
+	if err != nil {
+		return 0, fmt.Errorf("connector %s: cost probe: %w", c.Node, err)
+	}
+	return raw * c.calibration, nil
+}
+
+// DeployView creates a view through the vendor dialect.
+func (c *Connector) DeployView(name string, query *sqlparser.Select) error {
+	return c.Exec(c.Dialect.CreateView(name, query))
+}
+
+// DeployServer registers a peer DBMS as a SQL/MED server.
+func (c *Connector) DeployServer(name, addr, node string) error {
+	return c.Exec(c.Dialect.CreateServer(name, addr, node))
+}
+
+// DeployForeignTable declares a foreign table over a peer's relation.
+// materialize requests fetch-and-store semantics (explicit movement).
+func (c *Connector) DeployForeignTable(name string, cols []sqltypes.Column, server, remoteTable string, materialize bool) error {
+	return c.Exec(c.Dialect.CreateForeignTable(name, cols, server, remoteTable, materialize))
+}
+
+// DeployTableAs materializes a query into a local table (explicit data
+// movement).
+func (c *Connector) DeployTableAs(name string, query *sqlparser.Select) error {
+	return c.Exec(c.Dialect.CreateTableAs(name, query))
+}

@@ -1,0 +1,195 @@
+package connector
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"xdb/internal/engine"
+	"xdb/internal/netsim"
+	"xdb/internal/sqlparser"
+	"xdb/internal/sqltypes"
+	"xdb/internal/wire"
+)
+
+func newConnectedEngine(t *testing.T, vendor engine.Vendor) (*engine.Engine, *Connector) {
+	t.Helper()
+	e := engine.New(engine.Config{Name: "dbx", Vendor: vendor})
+	srv, err := wire.NewServer(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	client := wire.NewClient("xdb", netsim.Unshaped("xdb", "dbx"))
+	return e, New("dbx", srv.Addr(), vendor, client)
+}
+
+func loadSample(t *testing.T, e *engine.Engine) {
+	t.Helper()
+	schema := sqltypes.NewSchema(
+		sqltypes.Column{Name: "id", Type: sqltypes.TypeInt},
+		sqltypes.Column{Name: "v", Type: sqltypes.TypeFloat},
+	)
+	rows := make([]sqltypes.Row, 1000)
+	for i := range rows {
+		rows[i] = sqltypes.Row{sqltypes.NewInt(int64(i)), sqltypes.NewFloat(float64(i) / 2)}
+	}
+	if err := e.LoadTable("t", schema, rows); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCalibrationAlignsCostUnits(t *testing.T) {
+	// The same canonical operator must cost the same through calibrated
+	// connectors of different vendors (footnote 6).
+	var costs []float64
+	for _, v := range []engine.Vendor{engine.VendorPostgres, engine.VendorHive, engine.VendorMariaDB} {
+		_, c := newConnectedEngine(t, v)
+		if err := c.Calibrate(); err != nil {
+			t.Fatal(err)
+		}
+		got, err := c.CostOperator(engine.CostScan, 5000, 0, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		costs = append(costs, got)
+	}
+	for i := 1; i < len(costs); i++ {
+		if math.Abs(costs[i]-costs[0]) > 1e-6*costs[0] {
+			t.Errorf("calibrated scan costs diverge: %v", costs)
+		}
+	}
+}
+
+func TestCalibrationPreservesVendorDifferences(t *testing.T) {
+	// Calibration aligns the currency, not the economics: a MariaDB join
+	// must still be dearer than a PostgreSQL join after calibration.
+	_, pg := newConnectedEngine(t, engine.VendorPostgres)
+	_, ma := newConnectedEngine(t, engine.VendorMariaDB)
+	for _, c := range []*Connector{pg, ma} {
+		if err := c.Calibrate(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	pgJoin, err := pg.CostOperator(engine.CostJoin, 1000, 1000, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	maJoin, err := ma.CostOperator(engine.CostJoin, 1000, 1000, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if maJoin <= pgJoin {
+		t.Errorf("calibrated mariadb join (%v) <= postgres (%v)", maJoin, pgJoin)
+	}
+}
+
+func TestStatsAndSchemaAndExplain(t *testing.T) {
+	e, c := newConnectedEngine(t, engine.VendorPostgres)
+	loadSample(t, e)
+	st, err := c.Stats("t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.RowCount != 1000 {
+		t.Errorf("rows = %d", st.RowCount)
+	}
+	schema, err := c.TableSchema("t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if schema.Len() != 2 || schema.Columns[1].Type != sqltypes.TypeFloat {
+		t.Errorf("schema = %v", schema)
+	}
+	cost, rows, err := c.Explain("SELECT * FROM t WHERE id < 100")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cost <= 0 || rows <= 0 {
+		t.Errorf("explain = %v, %v", cost, rows)
+	}
+	if c.Probes() < 3 {
+		t.Errorf("probes = %d", c.Probes())
+	}
+	c.ResetProbes()
+	if c.Probes() != 0 {
+		t.Error("ResetProbes failed")
+	}
+}
+
+func TestDeployHelpers(t *testing.T) {
+	e, c := newConnectedEngine(t, engine.VendorMariaDB)
+	loadSample(t, e)
+	q, err := sqlparser.ParseSelect("SELECT id FROM t WHERE id < 10")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.DeployView("v1", q); err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.Query("SELECT COUNT(*) FROM v1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows[0][0].Int() != 10 {
+		t.Errorf("view count = %v", res.Rows[0][0])
+	}
+	if err := c.DeployTableAs("t2", q); err != nil {
+		t.Fatal(err)
+	}
+	res, err = c.Query("SELECT COUNT(*) FROM t2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows[0][0].Int() != 10 {
+		t.Errorf("CTAS count = %v", res.Rows[0][0])
+	}
+	// Server + foreign table deployment in the vendor dialect (a MariaDB
+	// federated table pointing back at the same engine).
+	if err := c.DeployServer("self", c.Addr, "dbx"); err != nil {
+		t.Fatal(err)
+	}
+	cols := []sqltypes.Column{{Name: "id", Type: sqltypes.TypeInt}}
+	if err := c.DeployForeignTable("ft", cols, "self", "v1", false); err != nil {
+		t.Fatal(err)
+	}
+	// Querying ft requires the engine's FDW to be configured.
+	e.SetRemote(&wire.FDW{Client: wire.NewClient("dbx", netsim.Unshaped("dbx"))})
+	res, err = c.Query("SELECT COUNT(*) FROM ft")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows[0][0].Int() != 10 {
+		t.Errorf("foreign count = %v", res.Rows[0][0])
+	}
+}
+
+func TestQueryStream(t *testing.T) {
+	e, c := newConnectedEngine(t, engine.VendorPostgres)
+	loadSample(t, e)
+	schema, it, err := c.QueryStream("SELECT id FROM t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := engine.Drain(it)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if schema.Len() != 1 || len(rows) != 1000 {
+		t.Errorf("schema=%v rows=%d", schema, len(rows))
+	}
+}
+
+func TestConnectorErrorsCarryNode(t *testing.T) {
+	_, c := newConnectedEngine(t, engine.VendorPostgres)
+	_, err := c.Stats("nosuch")
+	if err == nil || !strings.Contains(err.Error(), "dbx") {
+		t.Errorf("err = %v", err)
+	}
+	if err := c.Exec("DROP TABLE nosuch"); err == nil {
+		t.Error("bad exec succeeded")
+	}
+	if _, _, err := c.Explain("SELEC"); err == nil {
+		t.Error("bad explain succeeded")
+	}
+}

@@ -1,0 +1,89 @@
+package core
+
+import (
+	"xdb/internal/connector"
+	"xdb/internal/sqlparser"
+)
+
+// Analyze exposes XDB's query analysis to the baseline systems (Garlic,
+// Presto, Sclera): the resolved scans with pushed-down filters and pruned
+// columns, the multi-table conjuncts, and the canonicalized statement
+// (every column reference qualified). The baselines share this frontend —
+// the paper's comparison is about *where cross-database operations run*,
+// not about frontend quality.
+type Analysis struct {
+	// Scans are the resolved relations in FROM order.
+	Scans []*Scan
+	// JoinConjs are the conjuncts touching more than one relation.
+	JoinConjs []sqlparser.Expr
+	// Canon is the canonicalized SELECT.
+	Canon *sqlparser.Select
+}
+
+// Analyze resolves and analyzes a cross-database query against a global
+// catalog whose tables carry schema and statistics.
+func Analyze(catalog *Catalog, sel *sqlparser.Select) (*Analysis, error) {
+	b, joinConjs, canon, err := buildLogical(catalog, sel)
+	if err != nil {
+		return nil, err
+	}
+	a := &Analysis{JoinConjs: joinConjs, Canon: canon}
+	for _, alias := range b.order {
+		a.Scans = append(a.Scans, b.aliases[alias])
+	}
+	return a, nil
+}
+
+// GatherMetadata populates schema and statistics for every table the query
+// references, through the given connectors — the shared preparation step
+// of XDB and the baselines. Entries already carrying schema and stats are
+// reused; refreshed entries are republished immutably.
+func GatherMetadata(catalog *Catalog, connectors map[string]*connector.Connector, sel *sqlparser.Select) error {
+	seen := map[string]bool{}
+	for _, ref := range sel.From {
+		info, ok := catalog.Lookup(ref.Name)
+		if !ok {
+			return errUnknownTable(ref.Name)
+		}
+		if seen[info.Name] {
+			continue
+		}
+		seen[info.Name] = true
+		if info.Schema != nil && info.Stats != nil {
+			continue
+		}
+		conn := connectors[info.Node]
+		if conn == nil {
+			return errUnknownNode(info.Node)
+		}
+		updated := &TableInfo{Name: info.Name, Node: info.Node, Schema: info.Schema, Stats: info.Stats}
+		if updated.Schema == nil {
+			schema, err := conn.TableSchema(info.Name)
+			if err != nil {
+				return err
+			}
+			updated.Schema = schema
+		}
+		if updated.Stats == nil {
+			st, err := conn.Stats(info.Name)
+			if err != nil {
+				return err
+			}
+			updated.Stats = st
+		}
+		catalog.Put(updated)
+	}
+	return nil
+}
+
+func errUnknownTable(name string) error {
+	return &catalogError{msg: "core: unknown table " + name + " in global catalog"}
+}
+
+func errUnknownNode(node string) error {
+	return &catalogError{msg: "core: no connector for node " + node}
+}
+
+type catalogError struct{ msg string }
+
+func (e *catalogError) Error() string { return e.msg }

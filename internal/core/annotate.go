@@ -1,0 +1,259 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"xdb/internal/engine"
+)
+
+// Plan annotation (Sec. IV-B2): a depth-first post-order traversal that
+// assigns every operator a DBMS (its annotation) and every edge a dataflow
+// operation, applying:
+//
+//	Rule 1 — table scans get their home DBMS;
+//	Rule 2 — unary operators inherit their input's annotation (edge i);
+//	Rule 3 — binary operators with equal input annotations inherit it;
+//	Rule 4 — cross-database binary operators solve Equation 1 by
+//	         consulting the candidate DBMSes for operator costs and
+//	         pricing the data movements, with the paper's pruning: only
+//	         the two inputs' DBMSes are candidate placements, which also
+//	         rules out plans like Fig. 5c.
+//
+// The movement decision encodes the trade-off of Sec. IV-A: an implicit
+// (pipelined) input cannot be the hash build side of the consuming join —
+// the stream must probe — while an explicit (materialized) input costs an
+// extra scan but lets the local optimizer arrange the join freely.
+
+// Coster abstracts the consulting interface the annotator uses — the
+// System implements it over the wire connectors; tests may fake it.
+type Coster interface {
+	// CostOperator prices an operator at a DBMS in calibrated common
+	// units (one consultation round trip).
+	CostOperator(node string, kind engine.CostKind, left, right, out float64) (float64, error)
+	// AllNodes lists every registered DBMS (for the FullCandidateSet
+	// ablation).
+	AllNodes() []string
+	// LinkFactor scales movement cost between two nodes relative to the
+	// baseline LAN link (>= 1 for slower links).
+	LinkFactor(from, to string) float64
+}
+
+// Movement cost constants (calibrated common units per row/byte on the
+// baseline link).
+const (
+	cMovePerRow  = 2.0
+	cMovePerByte = 0.05
+)
+
+// Annotation is the annotator's output: operator placements and edge
+// movements (only cross-DBMS edges carry a movement).
+type Annotation struct {
+	Node map[Op]string
+	// Move labels the edge from an operator to its parent when the two
+	// sides differ in annotation.
+	Move map[Op]Movement
+	// ConsultRounds counts the cost probes issued (Fig. 15's
+	// "consultation roundtrips").
+	ConsultRounds int
+}
+
+// annotate runs the annotation pass over the logical plan.
+func annotate(root Op, coster Coster, opts Options) (*Annotation, error) {
+	a := &Annotation{Node: map[Op]string{}, Move: map[Op]Movement{}}
+	if err := a.visit(root, coster, opts); err != nil {
+		return nil, err
+	}
+	return a, nil
+}
+
+func (a *Annotation) visit(op Op, coster Coster, opts Options) error {
+	switch o := op.(type) {
+	case *Scan:
+		// Rule 1.
+		a.Node[op] = o.Node
+		return nil
+
+	case *Final:
+		// Rule 2.
+		if err := a.visit(o.In, coster, opts); err != nil {
+			return err
+		}
+		a.Node[op] = a.Node[o.In]
+		return nil
+
+	case *Join:
+		if err := a.visit(o.L, coster, opts); err != nil {
+			return err
+		}
+		if err := a.visit(o.R, coster, opts); err != nil {
+			return err
+		}
+		ln, rn := a.Node[o.L], a.Node[o.R]
+		if ln == rn {
+			// Rule 3.
+			a.Node[op] = ln
+			return nil
+		}
+		// Rule 4.
+		return a.placeCrossJoin(o, coster, opts)
+
+	default:
+		return fmt.Errorf("core: annotate: unexpected operator %T", op)
+	}
+}
+
+// placeCrossJoin solves Equation 1 for a cross-database join.
+func (a *Annotation) placeCrossJoin(j *Join, coster Coster, opts Options) error {
+	ln, rn := a.Node[j.L], a.Node[j.R]
+	candidates := []string{ln, rn}
+	if opts.FullCandidateSet {
+		candidates = coster.AllNodes()
+	}
+
+	type decision struct {
+		node  string
+		moveL Movement
+		moveR Movement
+		cost  float64
+	}
+	var best *decision
+	for _, cand := range candidates {
+		d := decision{node: cand, moveL: MoveImplicit, moveR: MoveImplicit}
+		var total float64
+
+		// Determine per-child movement and the resulting join input
+		// arrangement at the candidate.
+		type side struct {
+			op     Op
+			from   string
+			move   Movement
+			local  bool
+			stream bool
+		}
+		sides := [2]side{
+			{op: j.L, from: ln},
+			{op: j.R, from: rn},
+		}
+		for i := range sides {
+			s := &sides[i]
+			s.local = s.from == cand
+			if s.local {
+				s.move = MoveImplicit
+				continue
+			}
+			mv := moveCost(s.op, coster.LinkFactor(s.from, cand))
+			// Both movements pay the move itself (Eqs. 2 and 3); the
+			// movement-combination comparison below adds the explicit
+			// variant's materialization costs and settles the choice
+			// (or applies ForceMovement).
+			s.move = MoveImplicit
+			s.stream = true
+			total += mv
+		}
+
+		// Join cost at the candidate under each movement combination of
+		// the remote sides; pick the cheapest combination.
+		bestJoin := math.Inf(1)
+		var bestMoves [2]Movement
+		combos := movementCombos(sides[0].local, sides[1].local, opts.ForceMovement)
+		for _, combo := range combos {
+			jc, extra, err := a.joinCostAt(coster, cand, j, sides[0].op, sides[1].op, combo[0] == MoveImplicit && !sides[0].local, combo[1] == MoveImplicit && !sides[1].local)
+			if err != nil {
+				return err
+			}
+			// Explicit sides pay the materialization write plus the scan
+			// of the stored copy (Eq. 3's scanCost term; the write is the
+			// same volume).
+			for i, mv := range combo {
+				if !sides[i].local && mv == MoveExplicit {
+					sc, err := coster.CostOperator(cand, engine.CostScan, sides[i].op.Est(), 0, 0)
+					a.ConsultRounds++
+					if err != nil {
+						return err
+					}
+					extra += 2 * sc
+				}
+			}
+			if jc+extra < bestJoin {
+				bestJoin = jc + extra
+				bestMoves = combo
+			}
+		}
+		total += bestJoin
+		d.moveL, d.moveR = bestMoves[0], bestMoves[1]
+		d.cost = total
+		if best == nil || d.cost < best.cost {
+			b := d
+			best = &b
+		}
+	}
+
+	a.Node[j] = best.node
+	if ln != best.node {
+		a.Move[j.L] = best.moveL
+	}
+	if rn != best.node {
+		a.Move[j.R] = best.moveR
+	}
+	return nil
+}
+
+// movementCombos enumerates the movement choices for the two sides (local
+// sides are pinned to implicit).
+func movementCombos(lLocal, rLocal bool, force Movement) [][2]Movement {
+	options := func(local bool) []Movement {
+		if local {
+			return []Movement{MoveImplicit}
+		}
+		if force != 0 {
+			return []Movement{force}
+		}
+		return []Movement{MoveImplicit, MoveExplicit}
+	}
+	var out [][2]Movement
+	for _, l := range options(lLocal) {
+		for _, r := range options(rLocal) {
+			out = append(out, [2]Movement{l, r})
+		}
+	}
+	return out
+}
+
+// joinCostAt consults the candidate DBMS for the join cost given which
+// inputs arrive as streams.
+func (a *Annotation) joinCostAt(coster Coster, cand string, j *Join, l, r Op, lStream, rStream bool) (float64, float64, error) {
+	out := j.Est()
+	var kind engine.CostKind
+	var left, right float64
+	switch {
+	case lStream && rStream:
+		// Both inputs stream (only possible with the full candidate set):
+		// the larger stream probes a build over the smaller, which must
+		// first be buffered — price as a stream join plus a scan of the
+		// buffered side.
+		big, small := l.Est(), r.Est()
+		if big < small {
+			big, small = small, big
+		}
+		kind, left, right = engine.CostJoinStream, big, small
+	case lStream:
+		kind, left, right = engine.CostJoinStream, l.Est(), r.Est()
+	case rStream:
+		kind, left, right = engine.CostJoinStream, r.Est(), l.Est()
+	default:
+		kind, left, right = engine.CostJoin, l.Est(), r.Est()
+	}
+	c, err := coster.CostOperator(cand, kind, left, right, out)
+	a.ConsultRounds++
+	return c, 0, err
+}
+
+// moveCost prices shipping an operator's output across a link (Eq. 2's
+// moveCost term).
+func moveCost(op Op, linkFactor float64) float64 {
+	if linkFactor < 1 {
+		linkFactor = 1
+	}
+	return op.Est() * (cMovePerRow + op.Width()*cMovePerByte) * linkFactor
+}

@@ -1,0 +1,202 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"xdb/internal/sqltypes"
+)
+
+// The delegation phase (Sec. V-A, Algorithm 1): a depth-first traversal of
+// the delegation plan that, for every task, first wires up its inputs —
+// a SQL/MED server registration and a foreign table on the task's DBMS
+// pointing at the child task's virtual relation, materialized locally when
+// the edge is explicit — and then creates the task's own virtual relation
+// (a view) from its rendered algebraic expression. The DDLs only *prepare*
+// the DBMSes; no data moves until the XDB query is executed. The returned
+// XDB query — SELECT * FROM <root view> on the root task's DBMS — is what
+// the client runs to trigger the in-situ cascade of Fig. 8.
+
+// Deployment is the result of delegating one plan.
+type Deployment struct {
+	// XDBQuery is the statement the client must execute.
+	XDBQuery string
+	// Node is the DBMS the XDB query targets (the root task's home).
+	Node string
+
+	mu sync.Mutex
+	// cleanup lists DROP statements in reverse deployment order.
+	cleanup []cleanupItem
+	// DDLCount is the number of DDL statements deployed.
+	DDLCount int
+}
+
+func (d *Deployment) record(item cleanupItem, ddls int) {
+	d.mu.Lock()
+	d.cleanup = append(d.cleanup, item)
+	d.DDLCount += ddls
+	d.mu.Unlock()
+}
+
+func (d *Deployment) addDDL(n int) {
+	d.mu.Lock()
+	d.DDLCount += n
+	d.mu.Unlock()
+}
+
+type cleanupItem struct {
+	node string
+	sql  string
+}
+
+// deploy runs Algorithm 1 over the plan. qid makes every created object
+// name unique per query, so concurrent queries do not collide and cleanup
+// is precise ("short-lived relations", Sec. III).
+func (s *System) deploy(plan *Plan, qid int64) (*Deployment, error) {
+	dep := &Deployment{}
+	rootView, err := s.processTask(plan, plan.Root, qid, dep)
+	if err != nil {
+		// Best-effort cleanup of whatever was already deployed.
+		s.cleanupDeployment(dep)
+		return nil, err
+	}
+	dep.XDBQuery = "SELECT * FROM " + rootView
+	dep.Node = plan.Root.Node
+	return dep, nil
+}
+
+// processTask implements PROCESSTASK of Algorithm 1. A task's inputs are
+// roots of independent subtrees, so they deploy concurrently — the
+// parallelization of delegation the paper's dataflow dependencies permit
+// (Sec. IV-A: "this allows us to parallelize certain parts of the
+// delegation and execution").
+func (s *System) processTask(plan *Plan, t *Task, qid int64, dep *Deployment) (string, error) {
+	conn, ok := s.connectors[t.Node]
+	if !ok {
+		return "", fmt.Errorf("core: no connector registered for node %q", t.Node)
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, len(t.Inputs))
+	for i, edge := range t.Inputs {
+		wg.Add(1)
+		go func(i int, edge *Edge) {
+			defer wg.Done()
+			errs[i] = s.deployInput(plan, t, edge, qid, dep)
+		}(i, edge)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return "", err
+		}
+	}
+
+	// CREATE the task's virtual relation (line 12).
+	sel, err := renderTask(t)
+	if err != nil {
+		return "", err
+	}
+	viewName := fmt.Sprintf("xdb%d_t%d", qid, t.ID)
+	if err := conn.DeployView(viewName, sel); err != nil {
+		return "", fmt.Errorf("core: deploy view %s on %s: %w", viewName, t.Node, err)
+	}
+	dep.record(cleanupItem{node: t.Node, sql: conn.Dialect.DropView(viewName)}, 1)
+	t.ViewName = viewName
+	return viewName, nil
+}
+
+// deployInput wires one dataflow edge: the producing subtree, the SQL/MED
+// server registration, and the foreign table on the consumer.
+func (s *System) deployInput(plan *Plan, t *Task, edge *Edge, qid int64, dep *Deployment) error {
+	// A4 ablation: a child task that is a bare (filtered, pruned) scan is
+	// not wrapped in a virtual relation — the foreign table points
+	// straight at the base table, relying on the wrapper's (absent)
+	// pushdown.
+	if s.opts.NoVirtualRelations && isBareScan(edge.From) {
+		return s.deployRawForeign(t, edge, qid, dep)
+	}
+	childView, err := s.processTask(plan, edge.From, qid, dep)
+	if err != nil {
+		return err
+	}
+	conn := s.connectors[t.Node]
+	childConn := s.connectors[edge.From.Node]
+
+	// CREATE SERVER (idempotent per node pair; engines overwrite).
+	serverName := "xdbsrv_" + edge.From.Node
+	if err := conn.DeployServer(serverName, childConn.Addr, edge.From.Node); err != nil {
+		return fmt.Errorf("core: deploy server %s on %s: %w", serverName, t.Node, err)
+	}
+	dep.addDDL(1)
+
+	// CREATE FOREIGN TABLE (Algorithm 1, line 7), with fetch-and-store
+	// semantics when the movement is explicit (line 9).
+	ftName := fmt.Sprintf("xdb%d_ft%d", qid, edge.From.ID)
+	cols := make([]sqltypes.Column, len(edge.Placeholder.Cols))
+	for i, gid := range edge.Placeholder.Cols {
+		cols[i] = sqltypes.Column{Name: MangleCol(gid), Type: edge.Placeholder.Types[i]}
+	}
+	materialize := edge.Move == MoveExplicit
+	if err := conn.DeployForeignTable(ftName, cols, serverName, childView, materialize); err != nil {
+		return fmt.Errorf("core: deploy foreign table %s on %s: %w", ftName, t.Node, err)
+	}
+	dep.record(cleanupItem{node: t.Node, sql: conn.Dialect.DropTable(ftName)}, 1)
+
+	// Replace the ? in the task's instruction (lines 10–12).
+	edge.Placeholder.Rel = ftName
+	return nil
+}
+
+// isBareScan reports whether the task's fragment is a single scan (with
+// optional filter and pruning).
+func isBareScan(t *Task) bool {
+	_, ok := t.Root.(*Scan)
+	return ok && len(t.Inputs) == 0
+}
+
+// deployRawForeign wires an A4-ablation edge: a foreign table over the
+// child's base table, exposing the full base schema.
+func (s *System) deployRawForeign(t *Task, edge *Edge, qid int64, dep *Deployment) error {
+	conn := s.connectors[t.Node]
+	scan := edge.From.Root.(*Scan)
+	childConn := s.connectors[edge.From.Node]
+	serverName := "xdbsrv_" + edge.From.Node
+	if err := conn.DeployServer(serverName, childConn.Addr, edge.From.Node); err != nil {
+		return fmt.Errorf("core: deploy server %s on %s: %w", serverName, t.Node, err)
+	}
+	dep.addDDL(1)
+	ftName := fmt.Sprintf("xdb%d_ft%d", qid, edge.From.ID)
+	cols := make([]sqltypes.Column, len(scan.Schema.Columns))
+	for i, c := range scan.Schema.Columns {
+		cols[i] = sqltypes.Column{Name: c.Name, Type: c.Type}
+	}
+	if err := conn.DeployForeignTable(ftName, cols, serverName, scan.Table, edge.Move == MoveExplicit); err != nil {
+		return fmt.Errorf("core: deploy raw foreign table %s on %s: %w", ftName, t.Node, err)
+	}
+	dep.record(cleanupItem{node: t.Node, sql: conn.Dialect.DropTable(ftName)}, 1)
+	edge.Placeholder.Rel = ftName
+	edge.Placeholder.RawScan = scan
+	return nil
+}
+
+// cleanupDeployment drops the query's short-lived relations in reverse
+// creation order. Errors are collected but do not stop the sweep.
+func (s *System) cleanupDeployment(dep *Deployment) error {
+	var errs []string
+	for i := len(dep.cleanup) - 1; i >= 0; i-- {
+		item := dep.cleanup[i]
+		conn, ok := s.connectors[item.node]
+		if !ok {
+			continue
+		}
+		if err := conn.Exec(item.sql); err != nil {
+			errs = append(errs, err.Error())
+		}
+	}
+	dep.cleanup = nil
+	if len(errs) > 0 {
+		return fmt.Errorf("core: cleanup: %s", strings.Join(errs, "; "))
+	}
+	return nil
+}

@@ -1,0 +1,187 @@
+package core_test
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"xdb/internal/core"
+	"xdb/internal/engine"
+	"xdb/internal/testbed"
+	"xdb/internal/tpch"
+)
+
+func TestNodeFailureDuringDelegation(t *testing.T) {
+	// Kill one DBMS after planning metadata has been cached; delegation
+	// must fail with a node-attributed error and leave no xdb objects on
+	// the surviving nodes.
+	tb, err := testbed.NewTPCH("TD1", 0.002, testbed.Config{DefaultVendor: engine.VendorTest})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tb.Close()
+	tb.System.CacheStats = true
+
+	// Warm: a successful query populates calibration and stats.
+	if _, err := tb.System.Query(tpch.Queries["Q3"]); err != nil {
+		t.Fatal(err)
+	}
+
+	// db2 (customer+orders) goes away.
+	tb.Nodes["db2"].Server.Close()
+	_, err = tb.System.Query(tpch.Queries["Q3"])
+	if err == nil {
+		t.Fatal("query succeeded with a dead node")
+	}
+
+	for name, n := range tb.Nodes {
+		if name == "db2" {
+			continue
+		}
+		for _, v := range n.Engine.Catalog().ViewNames() {
+			if strings.HasPrefix(v, "xdb") {
+				t.Errorf("node %s: leftover view %s after failed delegation", name, v)
+			}
+		}
+		for _, tab := range n.Engine.Catalog().TableNames() {
+			if strings.HasPrefix(tab, "xdb") {
+				t.Errorf("node %s: leftover table %s after failed delegation", name, tab)
+			}
+		}
+	}
+}
+
+func TestNodeFailureDuringPrep(t *testing.T) {
+	tb, err := testbed.NewTPCH("TD1", 0.001, testbed.Config{DefaultVendor: engine.VendorTest})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tb.Close()
+	tb.Nodes["db1"].Server.Close() // lineitem's home
+	if _, err := tb.System.Query(tpch.Queries["Q3"]); err == nil {
+		t.Fatal("query succeeded without lineitem's node")
+	}
+}
+
+func TestConcurrentXDBQueries(t *testing.T) {
+	// Per-query object naming (qid) must keep concurrent delegations from
+	// colliding on the shared engines.
+	tb, err := testbed.NewTPCH("TD1", 0.002, testbed.Config{DefaultVendor: engine.VendorTest})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tb.Close()
+	tb.System.CacheStats = true
+	if _, err := tb.System.Query(tpch.Queries["Q3"]); err != nil {
+		t.Fatal(err) // warm calibration
+	}
+
+	const workers = 6
+	var wg sync.WaitGroup
+	errs := make([]error, workers)
+	counts := make([]int, workers)
+	queries := []string{"Q3", "Q5", "Q10"}
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			q := queries[i%len(queries)]
+			res, err := tb.System.Query(tpch.Queries[q])
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			counts[i] = len(res.Rows)
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Errorf("worker %d: %v", i, err)
+		}
+	}
+	// Workers running the same query must agree on cardinality.
+	for i := 3; i < workers; i++ {
+		if errs[i] == nil && errs[i-3] == nil && counts[i] != counts[i-3] {
+			t.Errorf("workers %d/%d disagree: %d vs %d rows", i-3, i, counts[i-3], counts[i])
+		}
+	}
+	// And nothing leaks.
+	for name, n := range tb.Nodes {
+		for _, v := range n.Engine.Catalog().ViewNames() {
+			if strings.HasPrefix(v, "xdb") {
+				t.Errorf("node %s: leftover view %s", name, v)
+			}
+		}
+	}
+}
+
+func TestStatsCacheReducesPrepProbes(t *testing.T) {
+	tb, err := testbed.NewTPCH("TD1", 0.001, testbed.Config{DefaultVendor: engine.VendorTest})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tb.Close()
+	tb.System.CacheStats = true
+
+	if _, err := tb.System.Query(tpch.Queries["Q3"]); err != nil {
+		t.Fatal(err)
+	}
+	// Second run: stats come from the cache, so the only probes are the
+	// annotation's cost consulting.
+	conn, _ := tb.System.Connector("db2")
+	conn.ResetProbes()
+	res, err := tb.System.Query(tpch.Queries["Q3"])
+	if err != nil {
+		t.Fatal(err)
+	}
+	bd := res.Breakdown
+	if bd.ConsultRounds == 0 {
+		t.Error("no consulting at all")
+	}
+	// db2 should see only cost probes now (no stats/schema fetches):
+	// with Q3's single cross-database join that is a handful.
+	if got := conn.Probes(); got > int64(bd.ConsultRounds) {
+		t.Errorf("db2 probes = %d > consult rounds %d — stats cache ineffective", got, bd.ConsultRounds)
+	}
+}
+
+func TestDescribePlan(t *testing.T) {
+	tb, err := testbed.NewTPCH("TD1", 0.001, testbed.Config{DefaultVendor: engine.VendorTest})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tb.Close()
+	plan, _, err := tb.System.Plan(tpch.Queries["Q3"])
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := plan.Describe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"t1 @", "SELECT", "-->"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("describe missing %q:\n%s", want, out)
+		}
+	}
+	// Describe must not leave placeholders bound (plan still deployable).
+	for _, task := range plan.Tasks {
+		for _, e := range task.Inputs {
+			if e.Placeholder.Rel != "" {
+				t.Errorf("describe left placeholder bound to %q", e.Placeholder.Rel)
+			}
+		}
+	}
+	// And the plan still executes afterwards.
+	if _, err := tb.System.Query(tpch.Queries["Q3"]); err != nil {
+		t.Errorf("query after describe: %v", err)
+	}
+}
+
+func TestOptionsAccessor(t *testing.T) {
+	sys := core.NewSystem("m", "c", nil, core.Options{NoJoinReorder: true})
+	if !sys.Options().NoJoinReorder {
+		t.Error("options not retained")
+	}
+}

@@ -1,0 +1,189 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"xdb/internal/sqltypes"
+)
+
+// Plan finalization (Sec. IV-B3): fuse maximal same-annotation subtrees
+// into tasks. A modified depth-first post-order traversal compares each
+// operator's annotation with its parent's; where they differ, the child
+// subtree is cut off into its own task and a placeholder ("?") takes its
+// place — exactly the dummy-operator construction of the paper. Fewer
+// tasks mean fewer delegation round trips and more room for the local
+// optimizers.
+
+// Task is one node of a delegation plan: an algebraic expression (the
+// fragment rooted at Root, with Placeholder leaves for inputs produced
+// elsewhere) pinned to one DBMS.
+type Task struct {
+	ID   int
+	Node string
+	Root Op
+	// Inputs are the edges from producing tasks, in placeholder order.
+	Inputs []*Edge
+	// ViewName is the virtual relation the delegation engine created for
+	// this task (set during deployment).
+	ViewName string
+}
+
+// String renders the task in the paper's a:expr notation.
+func (t *Task) String() string {
+	return fmt.Sprintf("%s: %s", t.Node, OpString(t.Root))
+}
+
+// Edge is a dataflow operation between tasks: From's output moves to To
+// via the given movement.
+type Edge struct {
+	From, To *Task
+	Move     Movement
+	// EstRows is the optimizer's cardinality estimate for the moved
+	// relation (the #rows column of Table IV).
+	EstRows float64
+	// Placeholder is the leaf in To's fragment standing for From's
+	// output.
+	Placeholder *Placeholder
+}
+
+// String renders the edge in the paper's "t_i -x-> t_j" notation.
+func (e *Edge) String() string {
+	return fmt.Sprintf("%s --%s--> %s", e.From, e.Move, e.To.Node)
+}
+
+// Plan is a delegation plan: the DAG of tasks (here a tree, since plans
+// are left-deep) with its dataflow edges.
+type Plan struct {
+	Root  *Task
+	Tasks []*Task // post-order: producers before consumers
+	Edges []*Edge
+	// Annotation retains the operator placements for inspection.
+	Annotation *Annotation
+	// ColTypes maps global column identity to type (used for foreign
+	// table DDL during delegation).
+	ColTypes map[string]sqltypes.Type
+}
+
+// Movements counts the plan's inter-task edges by movement type.
+func (p *Plan) Movements() (implicit, explicit int) {
+	for _, e := range p.Edges {
+		if e.Move == MoveExplicit {
+			explicit++
+		} else {
+			implicit++
+		}
+	}
+	return
+}
+
+// String renders the plan's tasks and edges for logging and the Table IV
+// report.
+func (p *Plan) String() string {
+	var b strings.Builder
+	for _, t := range p.Tasks {
+		fmt.Fprintf(&b, "t%d %s\n", t.ID, t)
+	}
+	for _, e := range p.Edges {
+		fmt.Fprintf(&b, "t%d --%s--> t%d (~%.0f rows)\n", e.From.ID, e.Move, e.To.ID, e.EstRows)
+	}
+	return b.String()
+}
+
+// finalizer builds tasks from an annotated logical plan.
+type finalizer struct {
+	ann      *Annotation
+	colTypes map[string]sqltypes.Type
+	tasks    []*Task
+	edges    []*Edge
+	nextID   int
+}
+
+// finalize cuts the annotated logical plan into a delegation plan.
+func finalize(root Op, ann *Annotation, colTypes map[string]sqltypes.Type) *Plan {
+	f := &finalizer{ann: ann, colTypes: colTypes, nextID: 1}
+	rootTask := f.makeTask(root)
+	return &Plan{
+		Root:       rootTask,
+		Tasks:      f.tasks,
+		Edges:      f.edges,
+		Annotation: ann,
+		ColTypes:   colTypes,
+	}
+}
+
+// makeTask builds the task containing op and, transitively, its
+// same-annotation descendants; differing descendants become child tasks.
+func (f *finalizer) makeTask(op Op) *Task {
+	t := &Task{Node: f.ann.Node[op]}
+	t.Root = f.absorb(op, t)
+	t.ID = f.nextID
+	f.nextID++
+	f.tasks = append(f.tasks, t)
+	return t
+}
+
+// absorb walks the fragment, cutting children whose annotation differs.
+func (f *finalizer) absorb(op Op, t *Task) Op {
+	switch o := op.(type) {
+	case *Scan:
+		return o
+	case *Final:
+		o.In = f.absorbChild(o.In, t)
+		return o
+	case *Join:
+		o.L = f.absorbChild(o.L, t)
+		o.R = f.absorbChild(o.R, t)
+		return o
+	default:
+		return op
+	}
+}
+
+func (f *finalizer) absorbChild(child Op, t *Task) Op {
+	if f.ann.Node[child] == t.Node {
+		return f.absorb(child, t)
+	}
+	// Cut: the child subtree becomes its own task, replaced by a
+	// placeholder carrying the child's exported columns.
+	childTask := f.makeTask(child)
+	move := f.ann.Move[child]
+	if move == 0 {
+		move = MoveImplicit
+	}
+	cols := child.OutCols()
+	types := make([]sqltypes.Type, len(cols))
+	for i, c := range cols {
+		types[i] = f.colTypes[strings.ToLower(c)]
+	}
+	ph := &Placeholder{
+		ChildTask: childTask.ID,
+		Move:      move,
+		Cols:      cols,
+		Types:     types,
+		est:       child.Est(),
+		width:     child.Width(),
+	}
+	edge := &Edge{From: childTask, To: t, Move: move, EstRows: child.Est(), Placeholder: ph}
+	childTask.attachParentEdge(edge)
+	t.Inputs = append(t.Inputs, edge)
+	f.edges = append(f.edges, edge)
+	return ph
+}
+
+// attachParentEdge is a hook point kept for symmetry; tasks only track
+// their inputs.
+func (t *Task) attachParentEdge(*Edge) {}
+
+// collectColTypes builds the global column-type map from the builder's
+// scans.
+func collectColTypes(b *builder) map[string]sqltypes.Type {
+	out := map[string]sqltypes.Type{}
+	for _, alias := range b.order {
+		s := b.aliases[alias]
+		for _, c := range s.Schema.Columns {
+			out[strings.ToLower(s.Alias+"."+c.Name)] = c.Type
+		}
+	}
+	return out
+}

@@ -1,0 +1,314 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"xdb/internal/connector"
+	"xdb/internal/engine"
+	"xdb/internal/netsim"
+	"xdb/internal/sqlparser"
+	"xdb/internal/wire"
+)
+
+// System is the XDB middleware: the cross-database optimizer plus the
+// delegation engine, wired to the underlying DBMSes through connectors.
+// It holds no execution engine — queries execute entirely inside (and
+// between) the registered DBMSes; the middleware only plans, deploys DDL,
+// and hands the client its XDB query (Sec. III).
+type System struct {
+	// node is the middleware's node name in the topology (its control
+	// traffic is accounted against this node).
+	node string
+	// clientNode is where the XDB client runs; the final result flows to
+	// it.
+	clientNode string
+
+	connectors map[string]*connector.Connector
+	catalog    *Catalog
+	topo       *netsim.Topology
+	clientWire *wire.Client
+	opts       Options
+
+	seq        atomic.Int64
+	calibrated bool
+	calMu      sync.Mutex
+	// statsCache caches per-table statistics between queries when
+	// CacheStats is on.
+	statsCache sync.Map // table name -> *engine.TableStats
+	// CacheStats reuses table statistics across queries instead of
+	// re-gathering them during every preparation phase.
+	CacheStats bool
+}
+
+// NewSystem creates the middleware. topo may be nil (no shaping or
+// accounting, unit tests); opts zero value is the paper's configuration.
+func NewSystem(middlewareNode, clientNode string, topo *netsim.Topology, opts Options) *System {
+	return &System{
+		node:       middlewareNode,
+		clientNode: clientNode,
+		connectors: map[string]*connector.Connector{},
+		catalog:    NewCatalog(),
+		topo:       topo,
+		clientWire: wire.NewClient(clientNode, topo),
+		opts:       opts,
+	}
+}
+
+// Options returns the system's optimizer options.
+func (s *System) Options() Options { return s.opts }
+
+// Register adds a DBMS connector.
+func (s *System) Register(c *connector.Connector) { s.connectors[c.Node] = c }
+
+// Connector returns the connector for a node.
+func (s *System) Connector(node string) (*connector.Connector, bool) {
+	c, ok := s.connectors[node]
+	return c, ok
+}
+
+// Catalog exposes the global catalog.
+func (s *System) Catalog() *Catalog { return s.catalog }
+
+// RegisterTable maps a table of the global schema to its home DBMS. Schema
+// and statistics are gathered lazily during each query's preparation
+// phase.
+func (s *System) RegisterTable(table, node string) error {
+	if _, ok := s.connectors[node]; !ok {
+		return fmt.Errorf("core: RegisterTable(%s): unknown node %q", table, node)
+	}
+	s.catalog.Put(&TableInfo{Name: table, Node: node})
+	return nil
+}
+
+// Breakdown is the per-phase timing of one query (Fig. 15): preparation
+// (parse + metadata gathering), logical optimization, annotation and
+// finalization, delegation (DDL deployment), and execution.
+type Breakdown struct {
+	Prep  time.Duration
+	Lopt  time.Duration
+	Ann   time.Duration
+	Deleg time.Duration
+	Exec  time.Duration
+	// ConsultRounds counts the annotation phase's consultation round
+	// trips to the underlying DBMSes.
+	ConsultRounds int
+	// DDLCount is the number of DDL statements the delegation deployed.
+	DDLCount int
+}
+
+// Total returns the end-to-end time.
+func (b Breakdown) Total() time.Duration {
+	return b.Prep + b.Lopt + b.Ann + b.Deleg + b.Exec
+}
+
+// Coster implementation: the annotator consults through the system's
+// connectors.
+
+// CostOperator implements Coster.
+func (s *System) CostOperator(node string, kind engine.CostKind, left, right, out float64) (float64, error) {
+	c, ok := s.connectors[node]
+	if !ok {
+		return 0, fmt.Errorf("core: cost probe for unknown node %q", node)
+	}
+	return c.CostOperator(kind, left, right, out)
+}
+
+// AllNodes implements Coster.
+func (s *System) AllNodes() []string {
+	out := make([]string, 0, len(s.connectors))
+	for n := range s.connectors {
+		out = append(out, n)
+	}
+	return out
+}
+
+// LinkFactor implements Coster: the movement-cost multiplier of the link
+// between two nodes relative to the baseline LAN link.
+func (s *System) LinkFactor(from, to string) float64 {
+	if s.topo == nil || from == to {
+		return 1
+	}
+	link := s.topo.Link(from, to)
+	if link.Bandwidth <= 0 {
+		return 1
+	}
+	f := netsim.LANLink.Bandwidth / link.Bandwidth
+	if f < 1 {
+		return 1
+	}
+	return f
+}
+
+// calibrate aligns cost units across all connectors, once.
+func (s *System) calibrate() error {
+	s.calMu.Lock()
+	defer s.calMu.Unlock()
+	if s.calibrated {
+		return nil
+	}
+	for _, c := range s.connectors {
+		if err := c.Calibrate(); err != nil {
+			return err
+		}
+	}
+	s.calibrated = true
+	return nil
+}
+
+// Plan runs the optimizer pipeline — preparation, logical optimization,
+// annotation, finalization — and returns the delegation plan without
+// deploying it.
+func (s *System) Plan(sql string) (*Plan, *Breakdown, error) {
+	bd := &Breakdown{}
+	plan, err := s.plan(sql, bd)
+	return plan, bd, err
+}
+
+func (s *System) plan(sql string, bd *Breakdown) (*Plan, error) {
+	// --- Preparation: parse, analyze, gather metadata through the DCs.
+	start := time.Now()
+	sel, err := sqlparser.ParseSelect(sql)
+	if err != nil {
+		return nil, err
+	}
+	if err := s.calibrate(); err != nil {
+		return nil, err
+	}
+	if err := s.gatherMetadata(sel); err != nil {
+		return nil, err
+	}
+	b, joinConjs, canon, err := buildLogical(s.catalog, sel)
+	if err != nil {
+		return nil, err
+	}
+	bd.Prep = time.Since(start)
+
+	// --- Logical optimization: pushdowns happened during build; order
+	// the joins.
+	start = time.Now()
+	joined, err := orderJoins(b, joinConjs, s.opts)
+	if err != nil {
+		return nil, err
+	}
+	root := &Final{In: joined, Sel: canon}
+	bd.Lopt = time.Since(start)
+
+	// --- Annotation and finalization.
+	start = time.Now()
+	ann, err := annotate(root, s, s.opts)
+	if err != nil {
+		return nil, err
+	}
+	plan := finalize(root, ann, collectColTypes(b))
+	bd.Ann = time.Since(start)
+	bd.ConsultRounds = ann.ConsultRounds
+	return plan, nil
+}
+
+// gatherMetadata fetches schema and statistics for every referenced table,
+// republishing catalog entries immutably so concurrent queries never
+// observe a half-updated entry.
+func (s *System) gatherMetadata(sel *sqlparser.Select) error {
+	seen := map[string]bool{}
+	for _, ref := range sel.From {
+		key := strings.ToLower(ref.Name)
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		info, ok := s.catalog.Lookup(ref.Name)
+		if !ok {
+			return fmt.Errorf("core: unknown table %q in global catalog", ref.Name)
+		}
+		if s.CacheStats && info.Schema != nil && info.Stats != nil {
+			continue // fully cached entry
+		}
+		conn := s.connectors[info.Node]
+		updated := &TableInfo{Name: info.Name, Node: info.Node, Schema: info.Schema, Stats: info.Stats}
+		if updated.Schema == nil {
+			schema, err := conn.TableSchema(info.Name)
+			if err != nil {
+				return err
+			}
+			updated.Schema = schema
+		}
+		refreshStats := true
+		if s.CacheStats {
+			if st, ok := s.statsCache.Load(key); ok {
+				updated.Stats = st.(*engine.TableStats)
+				refreshStats = false
+			}
+		}
+		if refreshStats {
+			st, err := conn.Stats(info.Name)
+			if err != nil {
+				return err
+			}
+			updated.Stats = st
+			if s.CacheStats {
+				s.statsCache.Store(key, st)
+			}
+		}
+		s.catalog.Put(updated)
+	}
+	return nil
+}
+
+// Result is the outcome of a cross-database query.
+type Result struct {
+	*engine.Result
+	Plan      *Plan
+	Breakdown Breakdown
+	// XDBQuery is the rewritten query the client executed.
+	XDBQuery string
+	// RootNode is the DBMS the client executed it on.
+	RootNode string
+}
+
+// Query runs the full XDB pipeline: optimize, delegate, hand the XDB query
+// to the client, execute it on the root DBMS (triggering the decentralized
+// cascade), clean up the short-lived relations, and return the result.
+func (s *System) Query(sql string) (*Result, error) {
+	bd := Breakdown{}
+	plan, err := s.plan(sql, &bd)
+	if err != nil {
+		return nil, err
+	}
+
+	// --- Delegation: deploy the plan as DDL.
+	start := time.Now()
+	qid := s.seq.Add(1)
+	dep, err := s.deploy(plan, qid)
+	if err != nil {
+		return nil, err
+	}
+	bd.Deleg = time.Since(start)
+	bd.DDLCount = dep.DDLCount
+
+	// --- Execution: the client runs the XDB query on the root DBMS; data
+	// flows only between DBMSes and, for the final result, to the client.
+	start = time.Now()
+	rootConn := s.connectors[dep.Node]
+	res, execErr := s.clientWire.QueryAll(rootConn.Addr, dep.Node, dep.XDBQuery)
+	bd.Exec = time.Since(start)
+
+	// Cleanup regardless of the execution outcome.
+	cleanupErr := s.cleanupDeployment(dep)
+	if execErr != nil {
+		return nil, execErr
+	}
+	if cleanupErr != nil {
+		return nil, cleanupErr
+	}
+	return &Result{
+		Result:    res,
+		Plan:      plan,
+		Breakdown: bd,
+		XDBQuery:  dep.XDBQuery,
+		RootNode:  dep.Node,
+	}, nil
+}

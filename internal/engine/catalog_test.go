@@ -1,0 +1,96 @@
+package engine
+
+import (
+	"testing"
+
+	"xdb/internal/sqltypes"
+)
+
+func TestCatalogHasAndKinds(t *testing.T) {
+	c := NewCatalog()
+	schema := sqltypes.NewSchema(sqltypes.Column{Name: "a", Type: sqltypes.TypeInt})
+	if err := c.PutTable(&Table{Name: "T1", Schema: schema}); err != nil {
+		t.Fatal(err)
+	}
+	if !c.Has("t1") || !c.Has("T1") {
+		t.Error("case-insensitive Has failed")
+	}
+	if c.Has("nosuch") {
+		t.Error("phantom relation")
+	}
+	// A view cannot shadow a table and vice versa.
+	if err := c.PutView(&View{Name: "t1"}, false); err == nil {
+		t.Error("view shadowed table")
+	}
+	if err := c.PutView(&View{Name: "v1", Schema: schema}, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.PutTable(&Table{Name: "V1", Schema: schema}); err == nil {
+		t.Error("table shadowed view")
+	}
+	if err := c.PutForeign(&ForeignTable{Name: "t1"}); err == nil {
+		t.Error("foreign table shadowed table")
+	}
+	if err := c.PutForeign(&ForeignTable{Name: "f1", Schema: schema}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.PutView(&View{Name: "f1"}, false); err == nil {
+		t.Error("view shadowed foreign table")
+	}
+	// DROP TABLE also drops foreign tables (the dialects emit that form).
+	if !c.Drop("TABLE", "f1") {
+		t.Error("DROP TABLE did not remove the foreign table")
+	}
+	if c.Drop("VIEW", "t1") {
+		t.Error("DROP VIEW removed a table")
+	}
+	if !c.Drop("VIEW", "v1") || !c.Drop("TABLE", "t1") {
+		t.Error("drops failed")
+	}
+	c.PutServer(&Server{Name: "s1"})
+	if _, ok := c.Server("S1"); !ok {
+		t.Error("server lookup failed")
+	}
+	if !c.Drop("SERVER", "s1") {
+		t.Error("server drop failed")
+	}
+	if c.Drop("WHATEVER", "x") {
+		t.Error("unknown kind dropped something")
+	}
+}
+
+func TestInsertCopyOnWrite(t *testing.T) {
+	// A scan opened before an INSERT must not observe the new rows (the
+	// engine republishes the table instead of appending in place).
+	e := New(Config{Name: "t", Vendor: VendorTest})
+	schema := sqltypes.NewSchema(sqltypes.Column{Name: "a", Type: sqltypes.TypeInt})
+	if err := e.LoadTable("t", schema, rowsOf(1, 2, 3)); err != nil {
+		t.Fatal(err)
+	}
+	_, it, err := e.Query("SELECT a FROM t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Exec("INSERT INTO t VALUES (4)"); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := Drain(it)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Errorf("in-flight scan observed %d rows, want 3 (snapshot)", len(rows))
+	}
+	res, err := e.QueryAll("SELECT COUNT(*) FROM t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows[0][0].Int() != 4 {
+		t.Errorf("post-insert count = %v", res.Rows[0][0])
+	}
+	// Stats recomputed on the republished table.
+	st, _ := e.Stats("t")
+	if st.RowCount != 4 {
+		t.Errorf("stats rows = %d", st.RowCount)
+	}
+}

@@ -1,0 +1,552 @@
+package engine
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"xdb/internal/sqlparser"
+	"xdb/internal/sqltypes"
+)
+
+// RowIter is the volcano iterator every operator implements. Next returns
+// io.EOF after the last row. Iterators are single-use and not safe for
+// concurrent use; Close releases any resources (remote connections for
+// foreign scans) and must be called exactly once.
+type RowIter interface {
+	Next() (sqltypes.Row, error)
+	Close() error
+}
+
+// sliceIter iterates an in-memory row slice.
+type sliceIter struct {
+	rows []sqltypes.Row
+	pos  int
+}
+
+func (s *sliceIter) Next() (sqltypes.Row, error) {
+	if s.pos >= len(s.rows) {
+		return nil, io.EOF
+	}
+	r := s.rows[s.pos]
+	s.pos++
+	return r, nil
+}
+
+func (s *sliceIter) Close() error { return nil }
+
+// Drain consumes an iterator into a slice and closes it.
+func Drain(it RowIter) ([]sqltypes.Row, error) {
+	defer it.Close()
+	var out []sqltypes.Row
+	for {
+		r, err := it.Next()
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, r)
+	}
+}
+
+// scanIter scans a base table with an optional pre-compiled filter and the
+// vendor CPU throttle.
+type scanIter struct {
+	rows     []sqltypes.Row
+	pos      int
+	filter   compiledExpr
+	throttle cpuThrottle
+}
+
+func (s *scanIter) Next() (sqltypes.Row, error) {
+	for s.pos < len(s.rows) {
+		r := s.rows[s.pos]
+		s.pos++
+		s.throttle.charge(1)
+		if s.filter != nil {
+			v, err := s.filter(r)
+			if err != nil {
+				return nil, err
+			}
+			if !v.Bool() {
+				continue
+			}
+		}
+		return r, nil
+	}
+	s.throttle.flush()
+	return nil, io.EOF
+}
+
+func (s *scanIter) Close() error { return nil }
+
+// filterIter applies a predicate to an input iterator.
+type filterIter struct {
+	in   RowIter
+	pred compiledExpr
+}
+
+func (f *filterIter) Next() (sqltypes.Row, error) {
+	for {
+		r, err := f.in.Next()
+		if err != nil {
+			return nil, err
+		}
+		v, err := f.pred(r)
+		if err != nil {
+			return nil, err
+		}
+		if v.Bool() {
+			return r, nil
+		}
+	}
+}
+
+func (f *filterIter) Close() error { return f.in.Close() }
+
+// projectIter evaluates output expressions per input row.
+type projectIter struct {
+	in    RowIter
+	exprs []compiledExpr
+}
+
+func (p *projectIter) Next() (sqltypes.Row, error) {
+	r, err := p.in.Next()
+	if err != nil {
+		return nil, err
+	}
+	out := make(sqltypes.Row, len(p.exprs))
+	for i, e := range p.exprs {
+		out[i], err = e(r)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+func (p *projectIter) Close() error { return p.in.Close() }
+
+// hashJoinIter is an equi hash join: the right (build) input is fully
+// consumed into a hash table on open, then the left (probe) input streams.
+// Streaming the probe side is what makes implicit (pipelined) data movement
+// between DBMSes effective: a foreign scan on the probe side never
+// materializes.
+type hashJoinIter struct {
+	probe     RowIter
+	buildRows map[uint64][]sqltypes.Row
+	probeKeys []int
+	buildKeys []int
+	residual  compiledExpr // evaluated on the concatenated row; may be nil
+	throttle  cpuThrottle
+	// current probe row and pending matches
+	cur     sqltypes.Row
+	matches []sqltypes.Row
+	midx    int
+}
+
+func newHashJoin(probe RowIter, build RowIter, probeKeys, buildKeys []int, residual compiledExpr, nsPerRow int64) (*hashJoinIter, error) {
+	ht := make(map[uint64][]sqltypes.Row)
+	throttle := cpuThrottle{nsPerRow: nsPerRow}
+	defer build.Close()
+	for {
+		r, err := build.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		throttle.charge(1)
+		h := sqltypes.HashRow(r, buildKeys)
+		ht[h] = append(ht[h], r)
+	}
+	return &hashJoinIter{
+		probe: probe, buildRows: ht, probeKeys: probeKeys, buildKeys: buildKeys,
+		residual: residual, throttle: throttle,
+	}, nil
+}
+
+func (j *hashJoinIter) Next() (sqltypes.Row, error) {
+	for {
+		for j.midx < len(j.matches) {
+			b := j.matches[j.midx]
+			j.midx++
+			if !sqltypes.RowsEqualOn(j.cur, j.probeKeys, b, j.buildKeys) {
+				continue // hash collision
+			}
+			out := make(sqltypes.Row, 0, len(j.cur)+len(b))
+			out = append(out, j.cur...)
+			out = append(out, b...)
+			if j.residual != nil {
+				v, err := j.residual(out)
+				if err != nil {
+					return nil, err
+				}
+				if !v.Bool() {
+					continue
+				}
+			}
+			return out, nil
+		}
+		r, err := j.probe.Next()
+		if err == io.EOF {
+			j.throttle.flush()
+			return nil, io.EOF
+		}
+		if err != nil {
+			return nil, err
+		}
+		j.throttle.charge(1)
+		j.cur = r
+		j.matches = j.buildRows[sqltypes.HashRow(r, j.probeKeys)]
+		j.midx = 0
+	}
+}
+
+func (j *hashJoinIter) Close() error { return j.probe.Close() }
+
+// nestedLoopIter joins without equi keys: the right input is materialized
+// and the condition evaluated on every pair.
+type nestedLoopIter struct {
+	left     RowIter
+	right    []sqltypes.Row
+	cond     compiledExpr // may be nil (cross join)
+	throttle cpuThrottle
+	cur      sqltypes.Row
+	ridx     int
+}
+
+func newNestedLoop(left, right RowIter, cond compiledExpr, nsPerRow int64) (*nestedLoopIter, error) {
+	rows, err := Drain(right)
+	if err != nil {
+		return nil, err
+	}
+	return &nestedLoopIter{left: left, right: rows, cond: cond, ridx: len(rows), throttle: cpuThrottle{nsPerRow: nsPerRow}}, nil
+}
+
+func (n *nestedLoopIter) Next() (sqltypes.Row, error) {
+	for {
+		for n.ridx < len(n.right) {
+			b := n.right[n.ridx]
+			n.ridx++
+			n.throttle.charge(1)
+			out := make(sqltypes.Row, 0, len(n.cur)+len(b))
+			out = append(out, n.cur...)
+			out = append(out, b...)
+			if n.cond != nil {
+				v, err := n.cond(out)
+				if err != nil {
+					return nil, err
+				}
+				if !v.Bool() {
+					continue
+				}
+			}
+			return out, nil
+		}
+		r, err := n.left.Next()
+		if err == io.EOF {
+			n.throttle.flush()
+			return nil, io.EOF
+		}
+		if err != nil {
+			return nil, err
+		}
+		n.cur = r
+		n.ridx = 0
+	}
+}
+
+func (n *nestedLoopIter) Close() error { return n.left.Close() }
+
+// aggSpec describes one aggregate to compute.
+type aggSpec struct {
+	fn       string       // COUNT, SUM, AVG, MIN, MAX
+	arg      compiledExpr // nil for COUNT(*)
+	distinct bool
+}
+
+// aggState accumulates one aggregate within one group.
+type aggState struct {
+	count int64
+	sum   float64
+	sumI  int64
+	isInt bool
+	min   sqltypes.Value
+	max   sqltypes.Value
+	seen  map[sqltypes.Value]struct{} // for DISTINCT
+	any   bool
+}
+
+func (a *aggState) add(spec *aggSpec, v sqltypes.Value) error {
+	if spec.arg != nil && v.IsNull() {
+		return nil // SQL aggregates skip NULLs
+	}
+	if spec.distinct {
+		if a.seen == nil {
+			a.seen = make(map[sqltypes.Value]struct{})
+		}
+		if _, dup := a.seen[v]; dup {
+			return nil
+		}
+		a.seen[v] = struct{}{}
+	}
+	a.count++
+	switch spec.fn {
+	case "SUM", "AVG":
+		if !a.any {
+			a.isInt = v.T == sqltypes.TypeInt
+		}
+		if v.T != sqltypes.TypeInt {
+			a.isInt = false
+		}
+		a.sum += v.Float()
+		a.sumI += v.Int()
+	case "MIN":
+		if !a.any {
+			a.min = v
+		} else if c, err := sqltypes.Compare(v, a.min); err == nil && c < 0 {
+			a.min = v
+		}
+	case "MAX":
+		if !a.any {
+			a.max = v
+		} else if c, err := sqltypes.Compare(v, a.max); err == nil && c > 0 {
+			a.max = v
+		}
+	}
+	a.any = true
+	return nil
+}
+
+func (a *aggState) result(spec *aggSpec) sqltypes.Value {
+	switch spec.fn {
+	case "COUNT":
+		return sqltypes.NewInt(a.count)
+	case "SUM":
+		if !a.any {
+			return sqltypes.Null
+		}
+		if a.isInt {
+			return sqltypes.NewInt(a.sumI)
+		}
+		return sqltypes.NewFloat(a.sum)
+	case "AVG":
+		if a.count == 0 {
+			return sqltypes.Null
+		}
+		return sqltypes.NewFloat(a.sum / float64(a.count))
+	case "MIN":
+		if !a.any {
+			return sqltypes.Null
+		}
+		return a.min
+	case "MAX":
+		if !a.any {
+			return sqltypes.Null
+		}
+		return a.max
+	}
+	return sqltypes.Null
+}
+
+// hashAggregate fully consumes the input and emits one row per group:
+// [groupKey values..., aggregate results...]. With no group keys it emits
+// exactly one row (global aggregation).
+func hashAggregate(in RowIter, keys []compiledExpr, aggs []aggSpec, nsPerRow int64) (RowIter, error) {
+	defer in.Close()
+	type group struct {
+		keyVals sqltypes.Row
+		states  []aggState
+	}
+	groups := make(map[string]*group)
+	var order []string // deterministic output order (first appearance)
+	throttle := cpuThrottle{nsPerRow: nsPerRow}
+
+	for {
+		r, err := in.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		throttle.charge(1)
+		keyVals := make(sqltypes.Row, len(keys))
+		for i, k := range keys {
+			keyVals[i], err = k(r)
+			if err != nil {
+				return nil, err
+			}
+		}
+		gk := string(sqltypes.AppendRow(nil, keyVals))
+		g, ok := groups[gk]
+		if !ok {
+			g = &group{keyVals: keyVals, states: make([]aggState, len(aggs))}
+			groups[gk] = g
+			order = append(order, gk)
+		}
+		for i := range aggs {
+			var v sqltypes.Value
+			if aggs[i].arg != nil {
+				v, err = aggs[i].arg(r)
+				if err != nil {
+					return nil, err
+				}
+			}
+			if err := g.states[i].add(&aggs[i], v); err != nil {
+				return nil, err
+			}
+		}
+	}
+	throttle.flush()
+
+	if len(keys) == 0 && len(groups) == 0 {
+		// Global aggregate over an empty input still yields one row.
+		g := &group{states: make([]aggState, len(aggs))}
+		groups[""] = g
+		order = append(order, "")
+	}
+	out := make([]sqltypes.Row, 0, len(groups))
+	for _, gk := range order {
+		g := groups[gk]
+		row := make(sqltypes.Row, 0, len(g.keyVals)+len(aggs))
+		row = append(row, g.keyVals...)
+		for i := range aggs {
+			row = append(row, g.states[i].result(&aggs[i]))
+		}
+		out = append(out, row)
+	}
+	return &sliceIter{rows: out}, nil
+}
+
+// sortRows materializes and sorts the input by the given key expressions.
+func sortRows(in RowIter, items []sqlparser.OrderItem, schema *sqltypes.Schema) (RowIter, error) {
+	keys := make([]compiledExpr, len(items))
+	for i, it := range items {
+		var err error
+		keys[i], err = compileExpr(it.Expr, schema)
+		if err != nil {
+			return nil, err
+		}
+	}
+	rows, err := Drain(in)
+	if err != nil {
+		return nil, err
+	}
+	type keyed struct {
+		row  sqltypes.Row
+		keys sqltypes.Row
+	}
+	ks := make([]keyed, len(rows))
+	for i, r := range rows {
+		kv := make(sqltypes.Row, len(keys))
+		for j, k := range keys {
+			kv[j], err = k(r)
+			if err != nil {
+				return nil, err
+			}
+		}
+		ks[i] = keyed{row: r, keys: kv}
+	}
+	var sortErr error
+	sort.SliceStable(ks, func(i, j int) bool {
+		for x := range keys {
+			c, err := sqltypes.Compare(ks[i].keys[x], ks[j].keys[x])
+			if err != nil {
+				sortErr = err
+				return false
+			}
+			if c == 0 {
+				continue
+			}
+			if items[x].Desc {
+				return c > 0
+			}
+			return c < 0
+		}
+		return false
+	})
+	if sortErr != nil {
+		return nil, sortErr
+	}
+	out := make([]sqltypes.Row, len(ks))
+	for i := range ks {
+		out[i] = ks[i].row
+	}
+	return &sliceIter{rows: out}, nil
+}
+
+// limitIter stops after n rows.
+type limitIter struct {
+	in   RowIter
+	left int64
+}
+
+func (l *limitIter) Next() (sqltypes.Row, error) {
+	if l.left <= 0 {
+		return nil, io.EOF
+	}
+	r, err := l.in.Next()
+	if err != nil {
+		return nil, err
+	}
+	l.left--
+	return r, nil
+}
+
+func (l *limitIter) Close() error { return l.in.Close() }
+
+// distinctIter deduplicates full rows.
+type distinctIter struct {
+	in   RowIter
+	seen map[string]struct{}
+}
+
+func (d *distinctIter) Next() (sqltypes.Row, error) {
+	for {
+		r, err := d.in.Next()
+		if err != nil {
+			return nil, err
+		}
+		k := string(sqltypes.AppendRow(nil, r))
+		if _, dup := d.seen[k]; dup {
+			continue
+		}
+		d.seen[k] = struct{}{}
+		return r, nil
+	}
+}
+
+func (d *distinctIter) Close() error { return d.in.Close() }
+
+// errIter yields a single error; used to defer plan-time failures into the
+// iterator protocol where convenient.
+type errIter struct{ err error }
+
+func (e *errIter) Next() (sqltypes.Row, error) { return nil, e.err }
+func (e *errIter) Close() error                { return nil }
+
+// startupIter charges the vendor's startup latency on the first Next call.
+type startupIter struct {
+	in      RowIter
+	started bool
+	delay   func()
+}
+
+func (s *startupIter) Next() (sqltypes.Row, error) {
+	if !s.started {
+		s.started = true
+		if s.delay != nil {
+			s.delay()
+		}
+	}
+	return s.in.Next()
+}
+
+func (s *startupIter) Close() error { return s.in.Close() }
+
+var _ = fmt.Sprintf // keep fmt imported for future debug helpers

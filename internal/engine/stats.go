@@ -1,0 +1,144 @@
+package engine
+
+import (
+	"xdb/internal/sqltypes"
+)
+
+// TableStats holds the statistics an engine maintains per base table and
+// exposes through its declarative interface (the reproduction's stand-in
+// for pg_stats / information_schema). XDB's optimizer gathers these during
+// its preparation phase via the connectors.
+type TableStats struct {
+	// RowCount is the exact number of rows.
+	RowCount int64
+	// AvgRowBytes is the average encoded row width, used for transfer
+	// cost estimation.
+	AvgRowBytes float64
+	// Columns holds per-column statistics, positionally aligned with the
+	// table schema.
+	Columns []ColumnStats
+}
+
+// ColumnStats summarizes one column.
+type ColumnStats struct {
+	Name string
+	// Distinct is the estimated number of distinct values.
+	Distinct int64
+	// Min and Max are the observed extremes (Null for empty tables or
+	// incomparable data).
+	Min, Max sqltypes.Value
+	// NullFrac is the fraction of NULL values.
+	NullFrac float64
+}
+
+// distinctTrackLimit caps the exact-distinct tracking; beyond the limit the
+// estimate is scaled linearly (a deliberate, simple HLL stand-in).
+const distinctTrackLimit = 1 << 16
+
+// ComputeStats scans the rows once and builds table statistics.
+func ComputeStats(schema *sqltypes.Schema, rows []sqltypes.Row) *TableStats {
+	st := &TableStats{
+		RowCount: int64(len(rows)),
+		Columns:  make([]ColumnStats, schema.Len()),
+	}
+	for i, c := range schema.Columns {
+		st.Columns[i].Name = c.Name
+	}
+	if len(rows) == 0 {
+		return st
+	}
+
+	type tracker struct {
+		seen     map[sqltypes.Value]struct{}
+		capped   bool
+		observed int64 // rows consumed while tracking
+		nulls    int64
+		min, max sqltypes.Value
+	}
+	trackers := make([]tracker, schema.Len())
+	for i := range trackers {
+		trackers[i].seen = make(map[sqltypes.Value]struct{})
+		trackers[i].min, trackers[i].max = sqltypes.Null, sqltypes.Null
+	}
+
+	var totalBytes int64
+	for _, row := range rows {
+		totalBytes += int64(row.EncodedSize())
+		for i := range trackers {
+			t := &trackers[i]
+			v := row[i]
+			if v.IsNull() {
+				t.nulls++
+				continue
+			}
+			if !t.capped {
+				t.seen[v] = struct{}{}
+				t.observed++
+				if len(t.seen) >= distinctTrackLimit {
+					t.capped = true
+				}
+			} else {
+				t.observed++
+			}
+			if t.min.IsNull() {
+				t.min, t.max = v, v
+				continue
+			}
+			if c, err := sqltypes.Compare(v, t.min); err == nil && c < 0 {
+				t.min = v
+			}
+			if c, err := sqltypes.Compare(v, t.max); err == nil && c > 0 {
+				t.max = v
+			}
+		}
+	}
+	st.AvgRowBytes = float64(totalBytes) / float64(len(rows))
+	for i := range trackers {
+		t := &trackers[i]
+		d := int64(len(t.seen))
+		if t.capped && t.observed > 0 {
+			// Scale the capped count by the fraction of rows seen while
+			// tracking, clamped to the row count.
+			d = int64(float64(d) * float64(st.RowCount) / float64(t.observed))
+			if d > st.RowCount {
+				d = st.RowCount
+			}
+		}
+		st.Columns[i].Distinct = d
+		st.Columns[i].Min = t.min
+		st.Columns[i].Max = t.max
+		st.Columns[i].NullFrac = float64(t.nulls) / float64(st.RowCount)
+	}
+	return st
+}
+
+// Column returns the stats for the named column, or nil.
+func (s *TableStats) Column(name string) *ColumnStats {
+	for i := range s.Columns {
+		if equalFold(s.Columns[i].Name, name) {
+			return &s.Columns[i]
+		}
+	}
+	return nil
+}
+
+// equalFold is an ASCII-only case-insensitive comparison (column names in
+// the reproduction are ASCII).
+func equalFold(a, b string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := 0; i < len(a); i++ {
+		ca, cb := a[i], b[i]
+		if 'A' <= ca && ca <= 'Z' {
+			ca += 'a' - 'A'
+		}
+		if 'A' <= cb && cb <= 'Z' {
+			cb += 'a' - 'A'
+		}
+		if ca != cb {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,147 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"xdb/internal/core"
+	"xdb/internal/engine"
+	"xdb/internal/mediator"
+	"xdb/internal/netsim"
+	"xdb/internal/sclera"
+	"xdb/internal/testbed"
+	"xdb/internal/tpch"
+)
+
+// rig is one loaded testbed with the compared systems wired to it.
+type rig struct {
+	tb     *testbed.Testbed
+	garlic *mediator.Mediator
+	td     string
+	sf     float64
+}
+
+// rigConfig customizes a rig beyond the experiment Config.
+type rigConfig struct {
+	td       string
+	sf       float64
+	scenario netsim.Scenario
+	vendors  map[string]engine.Vendor
+	opts     core.Options
+}
+
+func newRig(cfg Config, rc rigConfig) (*rig, error) {
+	if rc.scenario == "" {
+		rc.scenario = netsim.ScenarioLAN
+	}
+	tb, err := testbed.NewTPCH(rc.td, rc.sf, testbed.Config{
+		Scenario:  rc.scenario,
+		Vendors:   rc.vendors,
+		Options:   rc.opts,
+		TimeScale: cfg.TimeScale,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &rig{tb: tb, td: rc.td, sf: rc.sf}, nil
+}
+
+func (r *rig) Close() { r.tb.Close() }
+
+func (r *rig) registerAll(register func(table, node string) error) error {
+	td, err := tpch.TD(r.td)
+	if err != nil {
+		return err
+	}
+	for table, node := range td {
+		if err := register(table, node); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// xdbRun executes a query through XDB, returning total wall-clock time.
+func (r *rig) xdbRun(q string) (time.Duration, *core.Result, error) {
+	start := time.Now()
+	res, err := r.tb.System.Query(tpch.Queries[q])
+	if err != nil {
+		return 0, nil, fmt.Errorf("xdb %s: %w", q, err)
+	}
+	return time.Since(start), res, nil
+}
+
+// garlicRun executes through the Garlic baseline.
+func (r *rig) garlicRun(q string) (time.Duration, *mediator.Stats, error) {
+	if r.garlic == nil {
+		r.garlic = mediator.NewGarlic(testbed.MiddlewareNode, r.tb.Topo, r.tb.Connectors())
+		if err := r.registerAll(r.garlic.RegisterTable); err != nil {
+			return 0, nil, err
+		}
+	}
+	start := time.Now()
+	_, st, err := r.garlic.Query(tpch.Queries[q])
+	if err != nil {
+		return 0, nil, fmt.Errorf("garlic %s: %w", q, err)
+	}
+	return time.Since(start), st, nil
+}
+
+// prestoRun executes through a Presto baseline with the given workers.
+func (r *rig) prestoRun(q string, workers int) (time.Duration, *mediator.Stats, error) {
+	p := mediator.NewPresto(testbed.MiddlewareNode, r.tb.Topo, r.tb.Connectors(), workers)
+	if err := r.registerAll(p.RegisterTable); err != nil {
+		return 0, nil, err
+	}
+	start := time.Now()
+	_, st, err := p.Query(tpch.Queries[q])
+	if err != nil {
+		return 0, nil, fmt.Errorf("presto-%d %s: %w", workers, q, err)
+	}
+	return time.Since(start), st, nil
+}
+
+// scleraRun executes through the Sclera baseline.
+func (r *rig) scleraRun(q string) (time.Duration, *sclera.Stats, error) {
+	s := sclera.New(sclera.Config{
+		Node:       testbed.MiddlewareNode,
+		Topo:       r.tb.Topo,
+		Connectors: r.tb.Connectors(),
+	})
+	if err := r.registerAll(s.RegisterTable); err != nil {
+		return 0, nil, err
+	}
+	start := time.Now()
+	_, st, err := s.Query(tpch.Queries[q])
+	if err != nil {
+		return 0, nil, fmt.Errorf("sclera %s: %w", q, err)
+	}
+	return time.Since(start), st, nil
+}
+
+// singleNodeTime measures the query on one engine holding all tables —
+// the paper's methodology for estimating XDB's transfer share ("we enforce
+// its derived plan on a single DBMS and subtract its runtime").
+func singleNodeTime(cfg Config, sf float64, q string) (time.Duration, error) {
+	tb, err := testbed.New([]string{"db1"}, testbed.Config{TimeScale: cfg.TimeScale})
+	if err != nil {
+		return 0, err
+	}
+	defer tb.Close()
+	gen := tpch.NewGenerator(sf, 42)
+	data := gen.GenAll()
+	for _, table := range tpch.TableNames {
+		schema, err := tpch.Schema(table)
+		if err != nil {
+			return 0, err
+		}
+		if err := tb.LoadTable("db1", table, schema, data[table]); err != nil {
+			return 0, err
+		}
+	}
+	start := time.Now()
+	if _, err := tb.System.Query(tpch.Queries[q]); err != nil {
+		return 0, err
+	}
+	return time.Since(start), nil
+}

@@ -1,0 +1,46 @@
+package experiments
+
+import "testing"
+
+func TestDefaultConfig(t *testing.T) {
+	cfg := DefaultConfig()
+	if cfg.SF != 0.02 {
+		t.Errorf("SF = %v", cfg.SF)
+	}
+	if len(cfg.SFSeries) != len(cfg.SFLabels) {
+		t.Error("series/labels misaligned")
+	}
+	if len(cfg.Queries) != 6 {
+		t.Errorf("queries = %v", cfg.Queries)
+	}
+	for i := 1; i < len(cfg.SFSeries); i++ {
+		if cfg.SFSeries[i] <= cfg.SFSeries[i-1] {
+			t.Error("SF series not increasing")
+		}
+	}
+}
+
+func TestQuickConfigSmaller(t *testing.T) {
+	q, d := QuickConfig(), DefaultConfig()
+	if q.SF >= d.SF {
+		t.Error("quick config not smaller")
+	}
+	if !q.SkipSclera {
+		t.Error("quick config must skip sclera")
+	}
+	if len(q.SFSeries) != len(q.SFLabels) {
+		t.Error("series/labels misaligned")
+	}
+}
+
+func TestRatioAndKB(t *testing.T) {
+	if got := ratio(100, 250); got != "2.5x" {
+		t.Errorf("ratio = %q", got)
+	}
+	if got := ratio(0, 5); got != "-" {
+		t.Errorf("ratio(0) = %q", got)
+	}
+	if got := kb(2048); got != "2.0KB" {
+		t.Errorf("kb = %q", got)
+	}
+}

@@ -1,0 +1,238 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+// tiny returns a minimal configuration for functional tests of the
+// harness itself (correct rows, sane shapes) rather than meaningful
+// measurements.
+func tiny() Config {
+	return Config{
+		SF:         0.006,
+		SFSeries:   []float64{0.002, 0.006},
+		SFLabels:   []string{"sf1", "sf3"},
+		Queries:    []string{"Q3", "Q5"},
+		SkipSclera: false,
+	}
+}
+
+func parseDur(t *testing.T, s string) time.Duration {
+	t.Helper()
+	d, err := time.ParseDuration(s)
+	if err != nil {
+		t.Fatalf("bad duration %q: %v", s, err)
+	}
+	return d
+}
+
+func TestFigure1(t *testing.T) {
+	r, err := Figure1(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 6 {
+		t.Fatalf("rows = %d, want 6:\n%s", len(r.Rows), r)
+	}
+	// Every system row has a positive total and a transfer column.
+	for _, row := range r.Rows {
+		if parseDur(t, row[2]) <= 0 {
+			t.Errorf("row %v: non-positive total", row)
+		}
+		if !strings.HasSuffix(row[4], "%") {
+			t.Errorf("row %v: bad share %q", row, row[4])
+		}
+	}
+	t.Logf("\n%s", r)
+}
+
+func TestFigure9ShapeHolds(t *testing.T) {
+	cfg := tiny()
+	r, err := Figure9(cfg, "TD1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != len(cfg.Queries) {
+		t.Fatalf("rows = %d:\n%s", len(r.Rows), r)
+	}
+	// The headline result: XDB beats both mediators, Sclera is worst.
+	for _, row := range r.Rows {
+		x := parseDur(t, row[1])
+		g := parseDur(t, row[2])
+		p := parseDur(t, row[3])
+		s := parseDur(t, row[4])
+		if x >= g || x >= p {
+			t.Errorf("%s: XDB (%v) not fastest (garlic %v, presto %v)", row[0], x, g, p)
+		}
+		if s <= x {
+			t.Errorf("%s: sclera (%v) not slower than XDB (%v)", row[0], s, x)
+		}
+	}
+	t.Logf("\n%s", r)
+}
+
+func TestFigure11WorkersDoNotHelp(t *testing.T) {
+	r, err := Figure11(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 4 {
+		t.Fatalf("rows = %d:\n%s", len(r.Rows), r)
+	}
+	p2 := parseDur(t, r.Rows[0][1])
+	p10 := parseDur(t, r.Rows[2][1])
+	x := parseDur(t, r.Rows[3][1])
+	// Scaling out must not close the gap to XDB (Fig. 11's conclusion).
+	if x >= p10 {
+		t.Errorf("XDB (%v) not faster than Presto-10 (%v)", x, p10)
+	}
+	// Workers shrink only local time, so total improvement is bounded:
+	// Presto-10 must not be dramatically faster than Presto-2.
+	if p10 < p2/3 {
+		t.Errorf("Presto-10 (%v) improved over Presto-2 (%v) too much — fetch should dominate", p10, p2)
+	}
+	t.Logf("\n%s", r)
+}
+
+func TestTableIV(t *testing.T) {
+	r, err := TableIV(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two TDs x three queries, each with >= 1 edge + a SUM row.
+	if len(r.Rows) < 12 {
+		t.Fatalf("rows = %d:\n%s", len(r.Rows), r)
+	}
+	moves := map[string]int{}
+	for _, row := range r.Rows {
+		if row[2] == "SUM" {
+			continue
+		}
+		moves[row[3]]++
+		if n, err := strconv.Atoi(row[4]); err != nil || n < 0 {
+			t.Errorf("bad row estimate %q in %v", row[4], row)
+		}
+	}
+	if moves["i"] == 0 {
+		t.Error("no implicit movements in any plan")
+	}
+	t.Logf("\n%s", r)
+}
+
+func TestFigure14TransferGap(t *testing.T) {
+	cfg := tiny()
+	r, err := Figure14(cfg, "TD1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range r.Rows {
+		onp := parseKB(t, row[1])
+		garlic := parseKB(t, row[3])
+		presto := parseKB(t, row[4])
+		if onp <= 0 {
+			t.Errorf("%s: XDB(ONP) = %v", row[0], onp)
+		}
+		if garlic < 20*onp {
+			t.Errorf("%s: garlic (%vKB) not >20x XDB ONP (%vKB)", row[0], garlic, onp)
+		}
+		if presto < garlic {
+			t.Errorf("%s: presto (%vKB) moved less than garlic (%vKB) despite text encoding", row[0], presto, garlic)
+		}
+	}
+	t.Logf("\n%s", r)
+}
+
+func parseKB(t *testing.T, s string) float64 {
+	t.Helper()
+	v, err := strconv.ParseFloat(strings.TrimSuffix(s, "KB"), 64)
+	if err != nil {
+		t.Fatalf("bad KB cell %q: %v", s, err)
+	}
+	return v
+}
+
+func TestFigure15Breakdown(t *testing.T) {
+	cfg := tiny()
+	r, err := Figure15(cfg, "TD1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != len(cfg.Queries)*len(cfg.SFSeries) {
+		t.Fatalf("rows = %d:\n%s", len(r.Rows), r)
+	}
+	for _, row := range r.Rows {
+		rounds, err := strconv.Atoi(row[6])
+		if err != nil || rounds <= 0 {
+			t.Errorf("row %v: consult rounds %q", row, row[6])
+		}
+	}
+	t.Logf("\n%s", r)
+}
+
+func TestAblations(t *testing.T) {
+	if testing.Short() {
+		t.Skip("ablations are slow")
+	}
+	cfg := tiny()
+	cfg.Queries = []string{"Q3"}
+
+	a1, err := AblationMovement(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("\n%s", a1)
+
+	a2, err := AblationCandidates(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Full candidate set must consult at least as much as the pruned set.
+	for _, row := range a2.Rows {
+		pruned, _ := strconv.Atoi(row[1])
+		full, _ := strconv.Atoi(row[3])
+		if full < pruned {
+			t.Errorf("%s: full set consulted less (%d) than pruned (%d)", row[0], full, pruned)
+		}
+	}
+	t.Logf("\n%s", a2)
+
+	a3, err := AblationJoinOrder(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("\n%s", a3)
+
+	// A4 needs a query whose delegation plan ships bare (filtered) base
+	// tables — Q8's highly selective part filter is the paper's case.
+	a4cfg := cfg
+	a4cfg.Queries = []string{"Q8"}
+	a4, err := AblationVirtualRelations(a4cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Without the guard, strictly more bytes move for selective queries.
+	for _, row := range a4.Rows {
+		guarded := parseKB(t, row[1])
+		raw := parseKB(t, row[2])
+		if raw <= guarded {
+			t.Errorf("%s: raw foreign tables (%vKB) <= guarded (%vKB)", row[0], raw, guarded)
+		}
+	}
+	t.Logf("\n%s", a4)
+}
+
+func TestReportFormatting(t *testing.T) {
+	r := &Report{Title: "T", Header: []string{"a", "bb"}}
+	r.Add("x", 42)
+	r.Add(time.Second, 1.5)
+	r.Note("footnote %d", 1)
+	out := r.String()
+	for _, want := range []string{"== T ==", "a", "bb", "x", "42", "1s", "1.5", "note: footnote 1"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,140 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (Sec. VI) on the reproduction testbed. Each experiment
+// returns a Report — the same rows/series the paper plots — consumed by
+// cmd/xdbench and by the benchmark suite in bench_test.go.
+//
+// Scale-down: the paper ran TPC-H sf 1–100 on 7 machines behind 1 Gbit
+// links; the default configuration here maps sf 10 to sf 0.02 (factor
+// 1/500) on proportionally slower simulated links, preserving the
+// compute/transfer balance (DESIGN.md §6). Absolute times are therefore
+// smaller; the comparisons (who wins, by what factor) are the result.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// Report is one regenerated table or figure.
+type Report struct {
+	Title  string
+	Header []string
+	Rows   [][]string
+	Notes  []string
+}
+
+// Add appends a row; values are stringified with %v (durations rounded).
+func (r *Report) Add(values ...any) {
+	row := make([]string, len(values))
+	for i, v := range values {
+		switch x := v.(type) {
+		case time.Duration:
+			row[i] = x.Round(time.Millisecond).String()
+		case float64:
+			row[i] = fmt.Sprintf("%.4g", x)
+		default:
+			row[i] = fmt.Sprintf("%v", v)
+		}
+	}
+	r.Rows = append(r.Rows, row)
+}
+
+// Note appends a footnote.
+func (r *Report) Note(format string, args ...any) {
+	r.Notes = append(r.Notes, fmt.Sprintf(format, args...))
+}
+
+// String renders the report as an aligned text table.
+func (r *Report) String() string {
+	widths := make([]int, len(r.Header))
+	for i, h := range r.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range r.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	b.WriteString("== " + r.Title + " ==\n")
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(c)
+			if i < len(widths) {
+				for p := len(c); p < widths[i]; p++ {
+					b.WriteByte(' ')
+				}
+			}
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(r.Header)
+	total := 0
+	for _, w := range widths {
+		total += w + 2
+	}
+	b.WriteString(strings.Repeat("-", total))
+	b.WriteByte('\n')
+	for _, row := range r.Rows {
+		writeRow(row)
+	}
+	for _, n := range r.Notes {
+		b.WriteString("note: " + n + "\n")
+	}
+	return b.String()
+}
+
+// Config scales the experiments.
+type Config struct {
+	// SF is the TPC-H scale factor standing in for the paper's sf 10.
+	SF float64
+	// SFSeries maps the paper's sf series {1, 10, 50, 100} for the
+	// scalability experiments.
+	SFSeries []float64
+	// SFLabels labels SFSeries entries in reports ("sf1", "sf10", ...).
+	SFLabels []string
+	// Queries restricts the query set (default: all six).
+	Queries []string
+	// TimeScale divides network shaping delays (1 = full shaping).
+	TimeScale float64
+	// SkipSclera drops the slowest baseline (it dominates wall-clock).
+	SkipSclera bool
+}
+
+// DefaultConfig is the scale documented in DESIGN.md §6: the paper's sf
+// series {1, 10, 50} maps to {0.002, 0.02, 0.1}.
+func DefaultConfig() Config {
+	return Config{
+		SF:       0.02,
+		SFSeries: []float64{0.002, 0.02, 0.1},
+		SFLabels: []string{"sf1", "sf10", "sf50"},
+		Queries:  []string{"Q3", "Q5", "Q7", "Q8", "Q9", "Q10"},
+	}
+}
+
+// QuickConfig is a smaller scale for CI and -short benchmarks.
+func QuickConfig() Config {
+	return Config{
+		SF:         0.004,
+		SFSeries:   []float64{0.001, 0.004},
+		SFLabels:   []string{"sf1", "sf4"},
+		Queries:    []string{"Q3", "Q5", "Q10"},
+		TimeScale:  4,
+		SkipSclera: true,
+	}
+}
+
+func ratio(a, b time.Duration) string {
+	if a <= 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%.1fx", float64(b)/float64(a))
+}
+
+func kb(n int64) string { return fmt.Sprintf("%.1fKB", float64(n)/1024) }

@@ -1,0 +1,420 @@
+// Package mediator implements the classic Mediator-Wrapper baseline of
+// Fig. 4a — the architecture of Garlic and (scaled out) Presto. The
+// mediator decomposes a cross-database query into per-DBMS local
+// fragments (selections, projections, and co-located joins are pushed
+// down), executes each fragment on its DBMS, fetches every intermediate
+// result to the mediator's own execution engine, and performs all
+// cross-database operations there. The cost the paper attributes to this
+// architecture — shipping all intermediates to one site — is inherent in
+// the structure below, not simulated.
+package mediator
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"xdb/internal/connector"
+	"xdb/internal/core"
+	"xdb/internal/engine"
+	"xdb/internal/netsim"
+	"xdb/internal/sqlparser"
+	"xdb/internal/sqltypes"
+	"xdb/internal/wire"
+)
+
+// Config configures a mediator.
+type Config struct {
+	// Name labels the system in reports ("Garlic", "Presto-4", ...).
+	Name string
+	// Node is the mediator's node in the topology.
+	Node string
+	// Topo provides shaping and accounting (nil for unit tests).
+	Topo *netsim.Topology
+	// Connectors are the access paths to the underlying DBMSes.
+	Connectors map[string]*connector.Connector
+	// Workers scales the mediator's execution engine (Presto's scale-out;
+	// 1 = the single-node Garlic mediator).
+	Workers int
+	// TextProtocol fetches intermediates with the JDBC-style text
+	// encoding (Presto); false uses the binary protocol (the paper's
+	// Garlic implementation leverages PostgreSQL's binary transfer).
+	TextProtocol bool
+	// CoordinatorLatency is charged once per query for fragment
+	// scheduling (grows mildly with workers for Presto).
+	CoordinatorLatency time.Duration
+}
+
+// Mediator is an MW-architecture query processor.
+type Mediator struct {
+	cfg     Config
+	catalog *core.Catalog
+	client  *wire.Client
+	profile engine.Profile
+}
+
+// New creates a mediator.
+func New(cfg Config) *Mediator {
+	if cfg.Workers < 1 {
+		cfg.Workers = 1
+	}
+	profile := engine.Profiles(engine.VendorPostgres)
+	// The mediator engine parallelizes across workers: per-row costs
+	// shrink, with sublinear scaling (coordination overhead).
+	scale := int64(cfg.Workers)
+	profile.ScanNsPerRow /= scale
+	profile.JoinNsPerRow /= scale
+	profile.AggNsPerRow /= scale
+	profile.StartupLatency = 0 // charged via CoordinatorLatency instead
+	return &Mediator{
+		cfg:     cfg,
+		catalog: core.NewCatalog(),
+		client:  wire.NewClient(cfg.Node, cfg.Topo),
+		profile: profile,
+	}
+}
+
+// Name returns the configured system label.
+func (m *Mediator) Name() string { return m.cfg.Name }
+
+// RegisterTable maps a global table to its home DBMS.
+func (m *Mediator) RegisterTable(table, node string) error {
+	if _, ok := m.cfg.Connectors[node]; !ok {
+		return fmt.Errorf("mediator: RegisterTable(%s): unknown node %q", table, node)
+	}
+	m.catalog.Put(&core.TableInfo{Name: table, Node: node})
+	return nil
+}
+
+// Stats reports one query execution's cost structure: the split the
+// paper's Fig. 1 shows (fetch share vs. "actual" execution share).
+type Stats struct {
+	// FetchTime is the wall-clock time moving intermediates to the
+	// mediator.
+	FetchTime time.Duration
+	// LocalTime is the mediator engine's execution time over the fetched
+	// fragments.
+	LocalTime time.Duration
+	// RowsFetched and BytesFetched total the shipped intermediates.
+	RowsFetched  int64
+	BytesFetched int64
+	// Fragments is the number of pushed-down subqueries.
+	Fragments int
+}
+
+// Total returns fetch + local time.
+func (s Stats) Total() time.Duration { return s.FetchTime + s.LocalTime }
+
+// fragment is one pushed-down subquery: a connected component of the
+// query's relations on a single DBMS.
+type fragment struct {
+	node  string
+	scans []*core.Scan
+	conjs []sqlparser.Expr
+	sql   string
+	cols  []string // exported global column identities
+	// fetched result
+	schema *sqltypes.Schema
+	rows   []sqltypes.Row
+}
+
+// Query executes a cross-database query through the mediator.
+func (m *Mediator) Query(sql string) (*engine.Result, *Stats, error) {
+	sel, err := sqlparser.ParseSelect(sql)
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := core.GatherMetadata(m.catalog, m.cfg.Connectors, sel); err != nil {
+		return nil, nil, err
+	}
+	analysis, err := core.Analyze(m.catalog, sel)
+	if err != nil {
+		return nil, nil, err
+	}
+	frags, crossConjs, err := decompose(analysis)
+	if err != nil {
+		return nil, nil, err
+	}
+	st := &Stats{Fragments: len(frags)}
+
+	if m.cfg.CoordinatorLatency > 0 {
+		time.Sleep(m.cfg.CoordinatorLatency)
+	}
+
+	// Fetch every fragment's result to the mediator (concurrently — the
+	// wrappers are independent connections).
+	start := time.Now()
+	var wg sync.WaitGroup
+	errs := make([]error, len(frags))
+	for i, f := range frags {
+		wg.Add(1)
+		go func(i int, f *fragment) {
+			defer wg.Done()
+			conn := m.cfg.Connectors[f.node]
+			schema, it, err := m.client.QueryEnc(conn.Addr, f.node, f.sql, m.cfg.TextProtocol)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			rows, err := engine.Drain(it)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			f.schema, f.rows = schema, rows
+		}(i, f)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+	st.FetchTime = time.Since(start)
+	for _, f := range frags {
+		st.RowsFetched += int64(len(f.rows))
+		for _, r := range f.rows {
+			st.BytesFetched += int64(r.EncodedSize())
+		}
+	}
+
+	// Execute the remaining (cross-database) operations on the mediator's
+	// own engine.
+	start = time.Now()
+	res, err := m.executeLocal(analysis, frags, crossConjs)
+	if err != nil {
+		return nil, nil, err
+	}
+	st.LocalTime = time.Since(start)
+	return res, st, nil
+}
+
+// decompose groups the query's relations into per-DBMS connected
+// components (the pushed-down fragments) and returns the conjuncts that
+// must run at the mediator.
+func decompose(a *core.Analysis) ([]*fragment, []sqlparser.Expr, error) {
+	// Union-find over scans, connected when a join conjunct touches two
+	// scans on the same node.
+	parent := map[*core.Scan]*core.Scan{}
+	var find func(s *core.Scan) *core.Scan
+	find = func(s *core.Scan) *core.Scan {
+		if parent[s] == nil || parent[s] == s {
+			return s
+		}
+		r := find(parent[s])
+		parent[s] = r
+		return r
+	}
+	union := func(a, b *core.Scan) { parent[find(a)] = find(b) }
+
+	byAlias := map[string]*core.Scan{}
+	for _, s := range a.Scans {
+		byAlias[strings.ToLower(s.Alias)] = s
+	}
+	scansOf := func(e sqlparser.Expr) []*core.Scan {
+		seen := map[*core.Scan]bool{}
+		var out []*core.Scan
+		for _, cr := range sqlparser.ColumnsIn(e) {
+			if cr.Table == "" {
+				continue
+			}
+			if s := byAlias[strings.ToLower(cr.Table)]; s != nil && !seen[s] {
+				seen[s] = true
+				out = append(out, s)
+			}
+		}
+		return out
+	}
+
+	for _, c := range a.JoinConjs {
+		ss := scansOf(c)
+		if len(ss) == 2 && ss[0].Node == ss[1].Node {
+			union(ss[0], ss[1])
+		}
+	}
+
+	groups := map[*core.Scan]*fragment{}
+	var frags []*fragment
+	fragOf := map[*core.Scan]*fragment{}
+	for _, s := range a.Scans {
+		root := find(s)
+		f := groups[root]
+		if f == nil {
+			f = &fragment{node: s.Node}
+			groups[root] = f
+			frags = append(frags, f)
+		}
+		f.scans = append(f.scans, s)
+		fragOf[s] = f
+	}
+
+	// Assign join conjuncts: inside a fragment when all its scans are in
+	// the same fragment; otherwise cross (mediator-side).
+	var cross []sqlparser.Expr
+	for _, c := range a.JoinConjs {
+		ss := scansOf(c)
+		sameFrag := len(ss) > 0
+		for _, s := range ss {
+			if fragOf[s] != fragOf[ss[0]] {
+				sameFrag = false
+			}
+		}
+		if sameFrag {
+			fragOf[ss[0]].conjs = append(fragOf[ss[0]].conjs, c)
+			continue
+		}
+		cross = append(cross, c)
+	}
+
+	// Render each fragment's pushed-down SQL.
+	for _, f := range frags {
+		if err := f.render(); err != nil {
+			return nil, nil, err
+		}
+	}
+	return frags, cross, nil
+}
+
+// render builds the fragment's subquery: pruned columns under mangled
+// names, pushed-down filters and intra-fragment joins.
+func (f *fragment) render() error {
+	sel := &sqlparser.Select{Limit: -1}
+	var conjs []sqlparser.Expr
+	for _, s := range f.scans {
+		sel.From = append(sel.From, sqlparser.TableRef{Name: s.Table, Alias: s.Alias})
+		if s.Filter != nil {
+			conjs = append(conjs, s.Filter)
+		}
+		for _, gid := range s.OutCols() {
+			f.cols = append(f.cols, gid)
+			alias, name, _ := strings.Cut(gid, ".")
+			sel.Projections = append(sel.Projections, sqlparser.SelectExpr{
+				Expr:  &sqlparser.ColumnRef{Table: alias, Name: name},
+				Alias: core.MangleCol(gid),
+			})
+		}
+	}
+	conjs = append(conjs, f.conjs...)
+	sel.Where = sqlparser.JoinConjuncts(conjs)
+	f.sql = sel.String()
+	return nil
+}
+
+// executeLocal loads the fetched fragments into a fresh mediator engine
+// and runs the residual query (cross-database joins + the final block).
+func (m *Mediator) executeLocal(a *core.Analysis, frags []*fragment, cross []sqlparser.Expr) (*engine.Result, error) {
+	eng := engine.New(engine.Config{Name: m.cfg.Node, Vendor: engine.VendorPostgres, Profile: &m.profile})
+
+	// Resolution: global column identity -> (fragment table alias,
+	// mangled name).
+	resolve := map[string][2]string{}
+	for i, f := range frags {
+		name := fmt.Sprintf("frag%d", i)
+		schema := &sqltypes.Schema{}
+		for _, gid := range f.cols {
+			idx, err := f.schema.Resolve("", core.MangleCol(gid))
+			if err != nil {
+				return nil, err
+			}
+			schema.Columns = append(schema.Columns, sqltypes.Column{
+				Name: core.MangleCol(gid), Type: f.schema.Columns[idx].Type,
+			})
+			resolve[strings.ToLower(gid)] = [2]string{name, core.MangleCol(gid)}
+		}
+		if err := eng.LoadTable(name, schema, f.rows); err != nil {
+			return nil, err
+		}
+	}
+
+	rewrite := func(e sqlparser.Expr) (sqlparser.Expr, error) {
+		if e == nil {
+			return nil, nil
+		}
+		out := sqlparser.CloneExpr(e)
+		var err error
+		sqlparser.WalkExpr(out, func(x sqlparser.Expr) {
+			cr, ok := x.(*sqlparser.ColumnRef)
+			if !ok || cr.Table == "" || err != nil {
+				return
+			}
+			loc, ok := resolve[strings.ToLower(cr.Table+"."+cr.Name)]
+			if !ok {
+				err = fmt.Errorf("mediator: column %s.%s not in any fragment", cr.Table, cr.Name)
+				return
+			}
+			cr.Table, cr.Name = loc[0], loc[1]
+		})
+		return out, err
+	}
+
+	final := &sqlparser.Select{Limit: a.Canon.Limit, Distinct: a.Canon.Distinct}
+	for i := range frags {
+		final.From = append(final.From, sqlparser.TableRef{Name: fmt.Sprintf("frag%d", i)})
+	}
+	var conjs []sqlparser.Expr
+	for _, c := range cross {
+		rc, err := rewrite(c)
+		if err != nil {
+			return nil, err
+		}
+		conjs = append(conjs, rc)
+	}
+	final.Where = sqlparser.JoinConjuncts(conjs)
+	projOut := map[string]string{}
+	for _, p := range a.Canon.Projections {
+		re, err := rewrite(p.Expr)
+		if err != nil {
+			return nil, err
+		}
+		alias := p.Alias
+		if alias == "" {
+			if cr, ok := p.Expr.(*sqlparser.ColumnRef); ok {
+				alias = cr.Name
+			}
+		}
+		out := alias
+		if out == "" {
+			out = re.String()
+		}
+		if _, dup := projOut[re.String()]; !dup {
+			projOut[re.String()] = out
+		}
+		final.Projections = append(final.Projections, sqlparser.SelectExpr{Expr: re, Alias: alias})
+	}
+	for _, g := range a.Canon.GroupBy {
+		rg, err := rewrite(g)
+		if err != nil {
+			return nil, err
+		}
+		final.GroupBy = append(final.GroupBy, rg)
+	}
+	if a.Canon.Having != nil {
+		rh, err := rewrite(a.Canon.Having)
+		if err != nil {
+			return nil, err
+		}
+		final.Having = rh
+	}
+	for _, o := range a.Canon.OrderBy {
+		ro, err := rewrite(o.Expr)
+		if err != nil {
+			return nil, err
+		}
+		// ORDER BY resolves against the projected output.
+		if out, ok := projOut[ro.String()]; ok {
+			ro = &sqlparser.ColumnRef{Name: out}
+		}
+		final.OrderBy = append(final.OrderBy, sqlparser.OrderItem{Expr: ro, Desc: o.Desc})
+	}
+
+	schema, it, err := eng.QuerySelect(final)
+	if err != nil {
+		return nil, err
+	}
+	rows, err := engine.Drain(it)
+	if err != nil {
+		return nil, err
+	}
+	return &engine.Result{Schema: schema, Rows: rows}, nil
+}

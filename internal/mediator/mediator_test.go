@@ -1,0 +1,247 @@
+package mediator_test
+
+import (
+	"math"
+	"testing"
+
+	"xdb/internal/engine"
+	"xdb/internal/mediator"
+	"xdb/internal/sclera"
+	"xdb/internal/sqltypes"
+	"xdb/internal/testbed"
+	"xdb/internal/tpch"
+)
+
+func newTPCHTestbed(t *testing.T, td string, sf float64) *testbed.Testbed {
+	t.Helper()
+	tb, err := testbed.NewTPCH(td, sf, testbed.Config{DefaultVendor: engine.VendorTest})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(tb.Close)
+	return tb
+}
+
+func newGarlic(t *testing.T, tb *testbed.Testbed, td string) *mediator.Mediator {
+	t.Helper()
+	m := mediator.NewGarlic(testbed.MiddlewareNode, tb.Topo, tb.Connectors())
+	registerTPCH(t, td, m.RegisterTable)
+	return m
+}
+
+func registerTPCH(t *testing.T, td string, register func(table, node string) error) {
+	t.Helper()
+	dist, err := tpch.TD(td)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for table, node := range dist {
+		if err := register(table, node); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func sameResults(t *testing.T, name string, got, want *engine.Result) {
+	t.Helper()
+	if len(got.Rows) != len(want.Rows) {
+		t.Fatalf("%s: rows = %d, want %d", name, len(got.Rows), len(want.Rows))
+	}
+	for i := range want.Rows {
+		for j := range want.Rows[i] {
+			g, w := got.Rows[i][j], want.Rows[i][j]
+			if g.T == sqltypes.TypeFloat || w.T == sqltypes.TypeFloat {
+				if math.Abs(g.Float()-w.Float()) > math.Max(1e-6*math.Abs(w.Float()), 1e-9) {
+					t.Fatalf("%s: row %d col %d: %v != %v", name, i, j, g, w)
+				}
+				continue
+			}
+			if !sqltypes.Equal(g, w) {
+				t.Fatalf("%s: row %d col %d: %v != %v", name, i, j, g, w)
+			}
+		}
+	}
+}
+
+func TestGarlicMatchesXDBOnQ3(t *testing.T) {
+	tb := newTPCHTestbed(t, "TD1", 0.005)
+	want, err := tb.System.Query(tpch.Queries["Q3"])
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := newGarlic(t, tb, "TD1")
+	got, st, err := m.Query(tpch.Queries["Q3"])
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameResults(t, "garlic", got, want.Result)
+	if st.Fragments < 2 {
+		t.Errorf("fragments = %d, want decomposition across DBMSes", st.Fragments)
+	}
+	if st.RowsFetched == 0 || st.BytesFetched == 0 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestAllQueriesAllSystemsAgree(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full cross-system comparison is slow")
+	}
+	tb := newTPCHTestbed(t, "TD1", 0.004)
+	garlic := newGarlic(t, tb, "TD1")
+	presto := mediator.NewPresto(testbed.MiddlewareNode, tb.Topo, tb.Connectors(), 4)
+	registerTPCH(t, "TD1", presto.RegisterTable)
+	scl := sclera.New(sclera.Config{Node: testbed.MiddlewareNode, Topo: tb.Topo, Connectors: tb.Connectors()})
+	registerTPCH(t, "TD1", scl.RegisterTable)
+
+	for _, qn := range tpch.QueryNames {
+		want, err := tb.System.Query(tpch.Queries[qn])
+		if err != nil {
+			t.Fatalf("xdb %s: %v", qn, err)
+		}
+		got, _, err := garlic.Query(tpch.Queries[qn])
+		if err != nil {
+			t.Fatalf("garlic %s: %v", qn, err)
+		}
+		sameResults(t, "garlic "+qn, got, want.Result)
+
+		got, _, err = presto.Query(tpch.Queries[qn])
+		if err != nil {
+			t.Fatalf("presto %s: %v", qn, err)
+		}
+		sameResults(t, "presto "+qn, got, want.Result)
+
+		got, _, err = scl.Query(tpch.Queries[qn])
+		if err != nil {
+			t.Fatalf("sclera %s: %v", qn, err)
+		}
+		sameResults(t, "sclera "+qn, got, want.Result)
+	}
+}
+
+func TestMediatorCentralizesData(t *testing.T) {
+	// The structural property of Fig. 4a: all intermediates flow to the
+	// mediator node.
+	tb := newTPCHTestbed(t, "TD1", 0.003)
+	m := newGarlic(t, tb, "TD1")
+	tb.ResetTransfers()
+	if _, _, err := m.Query(tpch.Queries["Q3"]); err != nil {
+		t.Fatal(err)
+	}
+	led := tb.Topo.Ledger()
+	toMediator := int64(0)
+	interDB := int64(0)
+	for _, a := range []string{"db1", "db2", "db3", "db4"} {
+		toMediator += led.Between(a, testbed.MiddlewareNode)
+		for _, b := range []string{"db1", "db2", "db3", "db4"} {
+			interDB += led.Between(a, b)
+		}
+	}
+	if toMediator == 0 {
+		t.Error("no data flowed to the mediator")
+	}
+	if interDB != 0 {
+		t.Errorf("mediator-based execution moved %d bytes directly between DBMSes", interDB)
+	}
+}
+
+func TestXDBTransfersLessToCloudThanMediator(t *testing.T) {
+	// Fig. 14's ONP scenario in miniature: XDB sends only control traffic
+	// and the final result to the cloud; the mediator ships every
+	// intermediate there.
+	run := func(useXDB bool) int64 {
+		tb, err := testbed.NewTPCH("TD1", 0.003, testbed.Config{
+			DefaultVendor: engine.VendorTest,
+			Scenario:      "onprem",
+			TimeScale:     1e6,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer tb.Close()
+		tb.ResetTransfers()
+		if useXDB {
+			if _, err := tb.System.Query(tpch.Queries["Q3"]); err != nil {
+				t.Fatal(err)
+			}
+		} else {
+			m := newGarlic(t, tb, "TD1")
+			if _, _, err := m.Query(tpch.Queries["Q3"]); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return tb.Topo.CloudBytes()
+	}
+	xdbBytes := run(true)
+	garlicBytes := run(false)
+	if xdbBytes == 0 || garlicBytes == 0 {
+		t.Fatalf("bytes: xdb=%d garlic=%d", xdbBytes, garlicBytes)
+	}
+	if garlicBytes < 10*xdbBytes {
+		t.Errorf("cloud bytes: garlic=%d, xdb=%d — want at least 10x gap", garlicBytes, xdbBytes)
+	}
+}
+
+func TestScleraMovesEverythingThroughCoordinator(t *testing.T) {
+	tb := newTPCHTestbed(t, "TD1", 0.002)
+	scl := sclera.New(sclera.Config{Node: testbed.MiddlewareNode, Topo: tb.Topo, Connectors: tb.Connectors()})
+	registerTPCH(t, "TD1", scl.RegisterTable)
+	tb.ResetTransfers()
+	res, st, err := scl.Query(tpch.Queries["Q3"])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) == 0 {
+		t.Error("no rows")
+	}
+	if st.RowsMoved == 0 || st.Steps < 2 {
+		t.Errorf("stats = %+v", st)
+	}
+	led := tb.Topo.Ledger()
+	// Data flowed into AND out of the coordinator (routed), unlike XDB.
+	in := led.Between("db2", testbed.MiddlewareNode) + led.Between("db1", testbed.MiddlewareNode) +
+		led.Between("db3", testbed.MiddlewareNode) + led.Between("db4", testbed.MiddlewareNode)
+	out := led.Between(testbed.MiddlewareNode, "db1") + led.Between(testbed.MiddlewareNode, "db2") +
+		led.Between(testbed.MiddlewareNode, "db3") + led.Between(testbed.MiddlewareNode, "db4")
+	if in == 0 || out == 0 {
+		t.Errorf("coordinator routing: in=%d out=%d", in, out)
+	}
+	if out < in/4 {
+		t.Errorf("re-import (%d bytes) suspiciously small vs export (%d bytes)", out, in)
+	}
+}
+
+func TestMediatorWorkerScalingSpeedsLocalOnly(t *testing.T) {
+	// Fig. 11's mechanism: workers shrink local execution, not fetch.
+	tb := newTPCHTestbed(t, "TD1", 0.004)
+	p2 := mediator.NewPresto(testbed.MiddlewareNode, tb.Topo, tb.Connectors(), 2)
+	registerTPCH(t, "TD1", p2.RegisterTable)
+	p10 := mediator.NewPresto(testbed.MiddlewareNode, tb.Topo, tb.Connectors(), 10)
+	registerTPCH(t, "TD1", p10.RegisterTable)
+	_, st2, err := p2.Query(tpch.Queries["Q3"])
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, st10, err := p10.Query(tpch.Queries["Q3"])
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same decomposition, same data: fetched volume identical.
+	if st2.BytesFetched != st10.BytesFetched {
+		t.Errorf("fetched bytes differ: %d vs %d", st2.BytesFetched, st10.BytesFetched)
+	}
+}
+
+func TestMediatorErrors(t *testing.T) {
+	tb := newTPCHTestbed(t, "TD1", 0.001)
+	m := newGarlic(t, tb, "TD1")
+	if _, _, err := m.Query("SELECT * FROM nosuch"); err == nil {
+		t.Error("unknown table accepted")
+	}
+	if _, _, err := m.Query("SELEC"); err == nil {
+		t.Error("bad SQL accepted")
+	}
+	if err := m.RegisterTable("x", "nosuchnode"); err == nil {
+		t.Error("unknown node accepted")
+	}
+}

@@ -1,0 +1,41 @@
+package mediator
+
+import (
+	"fmt"
+	"time"
+
+	"xdb/internal/connector"
+	"xdb/internal/netsim"
+)
+
+// NewGarlic builds the Garlic-like baseline of Sec. VI-A: a single-node
+// mediator (the paper used a PostgreSQL instance with SQL/MED wrappers)
+// fetching intermediates over the binary transfer protocol.
+func NewGarlic(node string, topo *netsim.Topology, connectors map[string]*connector.Connector) *Mediator {
+	return New(Config{
+		Name:               "Garlic",
+		Node:               node,
+		Topo:               topo,
+		Connectors:         connectors,
+		Workers:            1,
+		TextProtocol:       false,
+		CoordinatorLatency: time.Millisecond,
+	})
+}
+
+// NewPresto builds the Presto/Trino baseline: a scaled-out mediator with
+// the given worker count, fetching intermediates through JDBC-style
+// (text) connectors — the overhead source the paper identifies in
+// Sec. VI-B — and paying a coordinator scheduling latency that grows
+// mildly with the fleet.
+func NewPresto(node string, topo *netsim.Topology, connectors map[string]*connector.Connector, workers int) *Mediator {
+	return New(Config{
+		Name:               fmt.Sprintf("Presto-%d", workers),
+		Node:               node,
+		Topo:               topo,
+		Connectors:         connectors,
+		Workers:            workers,
+		TextProtocol:       true,
+		CoordinatorLatency: 10*time.Millisecond + time.Duration(workers)*time.Millisecond,
+	})
+}

@@ -1,0 +1,264 @@
+// Package netsim simulates the network substrate of the paper's testbed:
+// named nodes placed at sites, links between sites with bandwidth and
+// latency, and a transfer ledger that accounts every byte moved between
+// nodes.
+//
+// The paper's evaluation ran on physical nodes behind 1 Gbit interfaces and
+// read transfer volumes out of Docker's network statistics. Here every
+// wire-protocol connection is shaped by the topology (a frame of n bytes
+// from node A to node B costs latency(A,B) + n/bandwidth(A,B) of wall-clock
+// time) and recorded in the ledger, which gives us both the runtime effects
+// of data movement (Figs. 1, 9, 11–13) and the exact transfer volumes
+// (Fig. 14) without real hardware.
+package netsim
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Site is a location label: nodes at the same site communicate over the
+// site's internal link; nodes at different sites use the inter-site link.
+type Site string
+
+// Common sites used by the experiment scenarios.
+const (
+	SiteOnPrem Site = "onprem"
+	SiteCloud  Site = "cloud"
+)
+
+// LinkSpec describes a (symmetric) link. A zero Bandwidth means unshaped
+// (infinite bandwidth), which keeps unit tests fast.
+type LinkSpec struct {
+	// Bandwidth in bytes per second; 0 disables bandwidth shaping.
+	Bandwidth float64
+	// Latency added once per frame.
+	Latency time.Duration
+}
+
+// shapeDelay returns the wall-clock cost of moving n bytes over the link.
+func (l LinkSpec) shapeDelay(n int) time.Duration {
+	d := l.Latency
+	if l.Bandwidth > 0 {
+		d += time.Duration(float64(n) / l.Bandwidth * float64(time.Second))
+	}
+	return d
+}
+
+// Edge identifies a directed node pair in the ledger.
+type Edge struct {
+	From, To string
+}
+
+// Ledger accounts bytes and frames moved between nodes. It is safe for
+// concurrent use.
+type Ledger struct {
+	mu     sync.Mutex
+	bytes  map[Edge]int64
+	frames map[Edge]int64
+}
+
+// NewLedger returns an empty ledger.
+func NewLedger() *Ledger {
+	return &Ledger{bytes: make(map[Edge]int64), frames: make(map[Edge]int64)}
+}
+
+// Add records n bytes moved from one node to another.
+func (l *Ledger) Add(from, to string, n int64) {
+	if from == to {
+		return // local move, never leaves the node
+	}
+	e := Edge{From: from, To: to}
+	l.mu.Lock()
+	l.bytes[e] += n
+	l.frames[e]++
+	l.mu.Unlock()
+}
+
+// Between returns the bytes moved from one node to another.
+func (l *Ledger) Between(from, to string) int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.bytes[Edge{From: from, To: to}]
+}
+
+// Total returns all bytes moved between distinct nodes.
+func (l *Ledger) Total() int64 {
+	return l.TotalMatching(func(Edge) bool { return true })
+}
+
+// TotalMatching sums bytes over edges accepted by the filter. The Fig. 14
+// scenarios use this to count, e.g., only traffic crossing into the cloud
+// site or only traffic crossing site boundaries.
+func (l *Ledger) TotalMatching(accept func(Edge) bool) int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	var total int64
+	for e, n := range l.bytes {
+		if accept(e) {
+			total += n
+		}
+	}
+	return total
+}
+
+// Snapshot returns a copy of the per-edge byte counts.
+func (l *Ledger) Snapshot() map[Edge]int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make(map[Edge]int64, len(l.bytes))
+	for e, n := range l.bytes {
+		out[e] = n
+	}
+	return out
+}
+
+// Reset clears all counters.
+func (l *Ledger) Reset() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	clear(l.bytes)
+	clear(l.frames)
+}
+
+// String renders the ledger sorted by edge, for the CLI tools.
+func (l *Ledger) String() string {
+	snap := l.Snapshot()
+	edges := make([]Edge, 0, len(snap))
+	for e := range snap {
+		edges = append(edges, e)
+	}
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].From != edges[j].From {
+			return edges[i].From < edges[j].From
+		}
+		return edges[i].To < edges[j].To
+	})
+	out := ""
+	for _, e := range edges {
+		out += fmt.Sprintf("%s -> %s: %d bytes\n", e.From, e.To, snap[e])
+	}
+	return out
+}
+
+// Topology maps nodes to sites and site pairs to links, and owns the
+// ledger. The zero value is not usable; call NewTopology.
+type Topology struct {
+	mu          sync.RWMutex
+	sites       map[string]Site
+	links       map[[2]Site]LinkSpec
+	defaultLink LinkSpec
+	ledger      *Ledger
+	// TimeScale divides every shaping delay; >1 speeds up simulated time
+	// uniformly, preserving ratios. 0 is treated as 1.
+	TimeScale float64
+}
+
+// NewTopology returns a topology with no shaping by default.
+func NewTopology() *Topology {
+	return &Topology{
+		sites:  make(map[string]Site),
+		links:  make(map[[2]Site]LinkSpec),
+		ledger: NewLedger(),
+	}
+}
+
+// Ledger returns the topology's transfer ledger.
+func (t *Topology) Ledger() *Ledger { return t.ledger }
+
+// AddNode places a node at a site. Re-adding moves the node.
+func (t *Topology) AddNode(name string, site Site) {
+	t.mu.Lock()
+	t.sites[name] = site
+	t.mu.Unlock()
+}
+
+// SiteOf returns the node's site ("" when unknown).
+func (t *Topology) SiteOf(node string) Site {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.sites[node]
+}
+
+// SetLink installs a symmetric link between two sites (a == b configures
+// the intra-site link).
+func (t *Topology) SetLink(a, b Site, spec LinkSpec) {
+	t.mu.Lock()
+	t.links[siteKey(a, b)] = spec
+	t.mu.Unlock()
+}
+
+// SetDefaultLink configures the link used for site pairs with no explicit
+// entry.
+func (t *Topology) SetDefaultLink(spec LinkSpec) {
+	t.mu.Lock()
+	t.defaultLink = spec
+	t.mu.Unlock()
+}
+
+func siteKey(a, b Site) [2]Site {
+	if a > b {
+		a, b = b, a
+	}
+	return [2]Site{a, b}
+}
+
+// Link returns the link spec between two nodes.
+func (t *Topology) Link(fromNode, toNode string) LinkSpec {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	a, b := t.sites[fromNode], t.sites[toNode]
+	if spec, ok := t.links[siteKey(a, b)]; ok {
+		return spec
+	}
+	return t.defaultLink
+}
+
+// CrossesSites reports whether the edge connects nodes at different sites.
+func (t *Topology) CrossesSites(e Edge) bool {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.sites[e.From] != t.sites[e.To]
+}
+
+// TouchesSite reports whether either endpoint of the edge is at the site.
+func (t *Topology) TouchesSite(e Edge, s Site) bool {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.sites[e.From] == s || t.sites[e.To] == s
+}
+
+// Transfer accounts and shapes a frame of n bytes from one node to
+// another: it records the bytes in the ledger and sleeps for the link's
+// shaping delay. Same-node transfers are free and unrecorded.
+func (t *Topology) Transfer(from, to string, n int) {
+	if from == to {
+		return
+	}
+	t.ledger.Add(from, to, int64(n))
+	spec := t.Link(from, to)
+	d := spec.shapeDelay(n)
+	if d <= 0 {
+		return
+	}
+	scale := t.TimeScale
+	if scale > 1 {
+		d = time.Duration(float64(d) / scale)
+	}
+	if d > 0 {
+		time.Sleep(d)
+	}
+}
+
+// CloudBytes sums traffic with at least one endpoint in the cloud site —
+// what a managed-cloud deployment is billed for (Fig. 14's ONP scenario).
+func (t *Topology) CloudBytes() int64 {
+	return t.ledger.TotalMatching(func(e Edge) bool { return t.TouchesSite(e, SiteCloud) })
+}
+
+// WANBytes sums traffic crossing site boundaries (Fig. 14's GEO scenario).
+func (t *Topology) WANBytes() int64 {
+	return t.ledger.TotalMatching(t.CrossesSites)
+}

@@ -1,0 +1,188 @@
+package netsim
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestLedgerAccounting(t *testing.T) {
+	l := NewLedger()
+	l.Add("a", "b", 100)
+	l.Add("a", "b", 50)
+	l.Add("b", "a", 10)
+	l.Add("a", "a", 999) // local, must be ignored
+	if got := l.Between("a", "b"); got != 150 {
+		t.Errorf("Between(a,b) = %d, want 150", got)
+	}
+	if got := l.Between("b", "a"); got != 10 {
+		t.Errorf("Between(b,a) = %d, want 10", got)
+	}
+	if got := l.Total(); got != 160 {
+		t.Errorf("Total = %d, want 160", got)
+	}
+	l.Reset()
+	if l.Total() != 0 {
+		t.Error("Reset did not clear")
+	}
+}
+
+func TestLedgerTotalMatching(t *testing.T) {
+	l := NewLedger()
+	l.Add("db1", "db2", 100)
+	l.Add("db1", "cloud", 30)
+	only := l.TotalMatching(func(e Edge) bool { return e.To == "cloud" })
+	if only != 30 {
+		t.Errorf("TotalMatching = %d, want 30", only)
+	}
+}
+
+func TestLedgerConcurrent(t *testing.T) {
+	l := NewLedger()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				l.Add("x", "y", 1)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := l.Total(); got != 8000 {
+		t.Errorf("Total = %d, want 8000", got)
+	}
+}
+
+func TestTopologyLinks(t *testing.T) {
+	top := NewTopology()
+	top.AddNode("db1", SiteOnPrem)
+	top.AddNode("db2", SiteOnPrem)
+	top.AddNode("med", SiteCloud)
+	lan := LinkSpec{Bandwidth: 1000}
+	wan := LinkSpec{Bandwidth: 10, Latency: time.Millisecond}
+	top.SetLink(SiteOnPrem, SiteOnPrem, lan)
+	top.SetLink(SiteOnPrem, SiteCloud, wan)
+	if got := top.Link("db1", "db2"); got != lan {
+		t.Errorf("intra-site link = %+v", got)
+	}
+	if got := top.Link("db1", "med"); got != wan {
+		t.Errorf("cross-site link = %+v", got)
+	}
+	if got := top.Link("med", "db1"); got != wan {
+		t.Error("link lookup is not symmetric")
+	}
+	if !top.CrossesSites(Edge{From: "db1", To: "med"}) {
+		t.Error("CrossesSites(db1,med) = false")
+	}
+	if top.CrossesSites(Edge{From: "db1", To: "db2"}) {
+		t.Error("CrossesSites(db1,db2) = true")
+	}
+	if !top.TouchesSite(Edge{From: "db1", To: "med"}, SiteCloud) {
+		t.Error("TouchesSite cloud = false")
+	}
+}
+
+func TestTransferAccountsAndShapes(t *testing.T) {
+	top := NewTopology()
+	top.AddNode("a", "s1")
+	top.AddNode("b", "s2")
+	top.SetDefaultLink(LinkSpec{Bandwidth: 1 << 20, Latency: 5 * time.Millisecond})
+	start := time.Now()
+	top.Transfer("a", "b", 1<<20) // 1 MiB at 1 MiB/s = 1s... too slow for a test
+	_ = start
+	// Use a smaller transfer for timing.
+	top.Ledger().Reset()
+	top.SetDefaultLink(LinkSpec{Latency: 20 * time.Millisecond})
+	start = time.Now()
+	top.Transfer("a", "b", 10)
+	if d := time.Since(start); d < 15*time.Millisecond {
+		t.Errorf("latency shaping too short: %v", d)
+	}
+	if got := top.Ledger().Between("a", "b"); got != 10 {
+		t.Errorf("ledger = %d, want 10", got)
+	}
+	// Same-node transfer: free and unrecorded.
+	start = time.Now()
+	top.Transfer("a", "a", 1<<30)
+	if d := time.Since(start); d > 5*time.Millisecond {
+		t.Errorf("local transfer slept %v", d)
+	}
+}
+
+func TestTransferTimeScale(t *testing.T) {
+	top := NewTopology()
+	top.AddNode("a", "s1")
+	top.AddNode("b", "s2")
+	top.SetDefaultLink(LinkSpec{Latency: 100 * time.Millisecond})
+	top.TimeScale = 100 // delays divided by 100
+	start := time.Now()
+	top.Transfer("a", "b", 1)
+	if d := time.Since(start); d > 50*time.Millisecond {
+		t.Errorf("TimeScale not applied: slept %v", d)
+	}
+}
+
+func TestScenarioOnPrem(t *testing.T) {
+	top := Build(ScenarioOnPrem, []string{"db1", "db2"}, "xdb", "client")
+	if top.SiteOf("db1") != SiteOnPrem || top.SiteOf("xdb") != SiteCloud {
+		t.Fatalf("sites: db1=%s xdb=%s", top.SiteOf("db1"), top.SiteOf("xdb"))
+	}
+	// DBMS-to-DBMS traffic stays on-prem; traffic to the middleware is
+	// cloud traffic.
+	top.Transfer("db1", "db2", 1000)
+	top.Transfer("db1", "xdb", 42)
+	if got := top.CloudBytes(); got != 42 {
+		t.Errorf("CloudBytes = %d, want 42", got)
+	}
+	if got := top.WANBytes(); got != 42 {
+		t.Errorf("WANBytes = %d, want 42", got)
+	}
+}
+
+func TestScenarioGeo(t *testing.T) {
+	top := Build(ScenarioGeo, []string{"db1", "db2", "db3"}, "xdb", "client")
+	// Every DBMS is in its own DC: db-to-db traffic crosses sites.
+	top.Transfer("db1", "db2", 1000)
+	top.Transfer("db1", "xdb", 42)
+	if got := top.WANBytes(); got != 1042 {
+		t.Errorf("WANBytes = %d, want 1042", got)
+	}
+	if got := top.CloudBytes(); got != 42 {
+		t.Errorf("CloudBytes = %d, want 42", got)
+	}
+}
+
+func TestScenarioLAN(t *testing.T) {
+	top := Build(ScenarioLAN, []string{"db1"}, "xdb", "client")
+	top.Transfer("db1", "xdb", 10)
+	if got := top.WANBytes(); got != 0 {
+		t.Errorf("WANBytes = %d, want 0 on a LAN", got)
+	}
+	if got := top.Ledger().Total(); got != 10 {
+		t.Errorf("Total = %d, want 10", got)
+	}
+}
+
+func TestUnshaped(t *testing.T) {
+	top := Unshaped("a", "b")
+	start := time.Now()
+	top.Transfer("a", "b", 100<<20)
+	if d := time.Since(start); d > 10*time.Millisecond {
+		t.Errorf("unshaped transfer slept %v", d)
+	}
+	if top.Ledger().Total() != 100<<20 {
+		t.Error("unshaped transfer not accounted")
+	}
+}
+
+func TestLedgerString(t *testing.T) {
+	l := NewLedger()
+	l.Add("b", "c", 5)
+	l.Add("a", "b", 3)
+	want := "a -> b: 3 bytes\nb -> c: 5 bytes\n"
+	if got := l.String(); got != want {
+		t.Errorf("String = %q, want %q", got, want)
+	}
+}

@@ -1,0 +1,49 @@
+package sqlparser
+
+import "testing"
+
+const benchQuery = `
+SELECT n1.n_name AS supp_nation, n2.n_name AS cust_nation,
+       EXTRACT(YEAR FROM l_shipdate) AS l_year,
+       SUM(l_extendedprice * (1 - l_discount)) AS revenue
+FROM supplier, lineitem, orders, customer, nation n1, nation n2
+WHERE s_suppkey = l_suppkey
+  AND o_orderkey = l_orderkey
+  AND c_custkey = o_custkey
+  AND s_nationkey = n1.n_nationkey
+  AND c_nationkey = n2.n_nationkey
+  AND ((n1.n_name = 'FRANCE' AND n2.n_name = 'GERMANY')
+    OR (n1.n_name = 'GERMANY' AND n2.n_name = 'FRANCE'))
+  AND l_shipdate BETWEEN DATE '1995-01-01' AND DATE '1996-12-31'
+GROUP BY supp_nation, cust_nation, l_year
+ORDER BY supp_nation, cust_nation, l_year`
+
+func BenchmarkParseTPCHQ7(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := ParseSelect(benchQuery); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRenderTPCHQ7(b *testing.B) {
+	sel, err := ParseSelect(benchQuery)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if sel.String() == "" {
+			b.Fatal("empty render")
+		}
+	}
+}
+
+func BenchmarkParseDDL(b *testing.B) {
+	const ddl = "CREATE FOREIGN TABLE vvn (type VARCHAR, c_id BIGINT, d DATE) SERVER vdb OPTIONS (table_name 'VVN', materialize 'true')"
+	for i := 0; i < b.N; i++ {
+		if _, err := Parse(ddl); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

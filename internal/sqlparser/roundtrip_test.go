@@ -1,0 +1,157 @@
+package sqlparser
+
+import (
+	"math/rand"
+	"testing"
+
+	"xdb/internal/sqltypes"
+)
+
+// Property test: for randomly generated expression trees, rendering and
+// re-parsing must reach a fixpoint (parse(render(e)) renders identically),
+// which guarantees the delegation engine's SQL survives the trip to any
+// engine.
+
+func randExpr(r *rand.Rand, depth int) Expr {
+	if depth <= 0 {
+		switch r.Intn(4) {
+		case 0:
+			return &ColumnRef{Table: "t" + string(rune('0'+r.Intn(3))), Name: "c" + string(rune('0'+r.Intn(5)))}
+		case 1:
+			return &Literal{Val: sqltypes.NewInt(int64(r.Intn(1000)))}
+		case 2:
+			return &Literal{Val: sqltypes.NewString("s" + string(rune('a'+r.Intn(26))))}
+		default:
+			return &Literal{Val: sqltypes.NewFloat(float64(r.Intn(100)) + 0.5)}
+		}
+	}
+	switch r.Intn(10) {
+	case 0:
+		return &BinaryExpr{Op: OpAnd, L: randBool(r, depth-1), R: randBool(r, depth-1)}
+	case 1:
+		return &BinaryExpr{Op: OpOr, L: randBool(r, depth-1), R: randBool(r, depth-1)}
+	case 2:
+		ops := []BinaryOp{OpAdd, OpSub, OpMul, OpDiv}
+		return &BinaryExpr{Op: ops[r.Intn(len(ops))], L: randExpr(r, depth-1), R: randExpr(r, depth-1)}
+	case 3:
+		ops := []BinaryOp{OpEq, OpNe, OpLt, OpLe, OpGt, OpGe}
+		return &BinaryExpr{Op: ops[r.Intn(len(ops))], L: randExpr(r, depth-1), R: randExpr(r, depth-1)}
+	case 4:
+		return &NotExpr{E: randBool(r, depth-1)}
+	case 5:
+		return &BetweenExpr{E: randExpr(r, depth-1), Lo: randExpr(r, depth-1), Hi: randExpr(r, depth-1), Not: r.Intn(2) == 0}
+	case 6:
+		n := 1 + r.Intn(3)
+		in := &InExpr{E: randExpr(r, depth-1), Not: r.Intn(2) == 0}
+		for i := 0; i < n; i++ {
+			in.List = append(in.List, &Literal{Val: sqltypes.NewInt(int64(i))})
+		}
+		return in
+	case 7:
+		c := &CaseExpr{}
+		for i := 0; i < 1+r.Intn(2); i++ {
+			c.Whens = append(c.Whens, When{Cond: randBool(r, depth-1), Result: randExpr(r, depth-1)})
+		}
+		if r.Intn(2) == 0 {
+			c.Else = randExpr(r, depth-1)
+		}
+		return c
+	case 8:
+		fns := []string{"SUM", "AVG", "MIN", "MAX", "UPPER", "LOWER"}
+		return &FuncCall{Name: fns[r.Intn(len(fns))], Args: []Expr{randExpr(r, depth-1)}}
+	default:
+		return &IsNullExpr{E: randExpr(r, depth-1), Not: r.Intn(2) == 0}
+	}
+}
+
+// randBool generates an expression usable in boolean context.
+func randBool(r *rand.Rand, depth int) Expr {
+	if depth <= 0 {
+		return &BinaryExpr{Op: OpEq, L: randExpr(r, 0), R: randExpr(r, 0)}
+	}
+	switch r.Intn(4) {
+	case 0:
+		return &BinaryExpr{Op: OpAnd, L: randBool(r, depth-1), R: randBool(r, depth-1)}
+	case 1:
+		return &BinaryExpr{Op: OpOr, L: randBool(r, depth-1), R: randBool(r, depth-1)}
+	case 2:
+		return &NotExpr{E: randBool(r, depth-1)}
+	default:
+		ops := []BinaryOp{OpEq, OpNe, OpLt, OpGt}
+		return &BinaryExpr{Op: ops[r.Intn(len(ops))], L: randExpr(r, depth-1), R: randExpr(r, depth-1)}
+	}
+}
+
+func TestRandomExprRenderParseFixpoint(t *testing.T) {
+	// Every rendered expression must re-parse, and rendering reaches a
+	// fixpoint after one round trip (the first render may carry redundant
+	// grouping parentheses that the canonical re-render drops).
+	r := rand.New(rand.NewSource(99))
+	for i := 0; i < 3000; i++ {
+		e := randExpr(r, 1+r.Intn(4))
+		r1 := e.String()
+		parsed, err := ParseExpr(r1)
+		if err != nil {
+			t.Fatalf("iteration %d: rendered expression does not parse: %v\n%s", i, err, r1)
+		}
+		r2 := parsed.String()
+		reparsed, err := ParseExpr(r2)
+		if err != nil {
+			t.Fatalf("iteration %d: canonical render does not parse: %v\n%s", i, err, r2)
+		}
+		if r3 := reparsed.String(); r2 != r3 {
+			t.Fatalf("iteration %d: render not a fixpoint after one round trip:\n%s\n%s\n%s", i, r1, r2, r3)
+		}
+	}
+}
+
+func TestRandomExprCloneFixpoint(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for i := 0; i < 1000; i++ {
+		e := randExpr(r, 1+r.Intn(4))
+		if CloneExpr(e).String() != e.String() {
+			t.Fatalf("iteration %d: clone renders differently", i)
+		}
+	}
+}
+
+func TestRandomSelectRenderParseFixpoint(t *testing.T) {
+	r := rand.New(rand.NewSource(21))
+	for i := 0; i < 500; i++ {
+		sel := &Select{Limit: -1}
+		nproj := 1 + r.Intn(3)
+		for p := 0; p < nproj; p++ {
+			se := SelectExpr{Expr: randExpr(r, 2)}
+			if r.Intn(2) == 0 {
+				se.Alias = "out" + string(rune('0'+p))
+			}
+			sel.Projections = append(sel.Projections, se)
+		}
+		sel.From = []TableRef{{Name: "t0"}, {Name: "t1", Alias: "x"}, {Name: "t2"}}
+		if r.Intn(2) == 0 {
+			sel.Where = randBool(r, 2)
+		}
+		if r.Intn(3) == 0 {
+			sel.GroupBy = []Expr{&ColumnRef{Table: "t0", Name: "c0"}}
+		}
+		if r.Intn(3) == 0 {
+			sel.OrderBy = []OrderItem{{Expr: &ColumnRef{Name: "out0"}, Desc: r.Intn(2) == 0}}
+		}
+		if r.Intn(4) == 0 {
+			sel.Limit = int64(r.Intn(100))
+		}
+		r1 := sel.String()
+		parsed, err := ParseSelect(r1)
+		if err != nil {
+			t.Fatalf("iteration %d: rendered SELECT does not parse: %v\n%s", i, err, r1)
+		}
+		r2 := parsed.String()
+		reparsed, err := ParseSelect(r2)
+		if err != nil {
+			t.Fatalf("iteration %d: canonical SELECT does not parse: %v\n%s", i, err, r2)
+		}
+		if r3 := reparsed.String(); r2 != r3 {
+			t.Fatalf("iteration %d: SELECT render not a fixpoint after one round trip:\n%s\n%s\n%s", i, r1, r2, r3)
+		}
+	}
+}

@@ -1,0 +1,57 @@
+package sqltypes
+
+import "testing"
+
+var benchRow = Row{
+	NewInt(123456789),
+	NewFloat(3.14159),
+	NewString("BUILDING"),
+	NewDate(9200),
+	NewBool(true),
+	NewString("carefully final deposits sleep furiously"),
+}
+
+func BenchmarkAppendRowBinary(b *testing.B) {
+	buf := make([]byte, 0, 256)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		buf = AppendRow(buf[:0], benchRow)
+	}
+}
+
+func BenchmarkDecodeRowBinary(b *testing.B) {
+	enc := AppendRow(nil, benchRow)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := DecodeRow(enc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAppendRowText(b *testing.B) {
+	buf := make([]byte, 0, 256)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		buf = AppendRowText(buf[:0], benchRow)
+	}
+}
+
+func BenchmarkDecodeRowText(b *testing.B) {
+	enc := AppendRowText(nil, benchRow)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := DecodeRowText(enc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkHashRow(b *testing.B) {
+	cols := []int{0, 2, 3}
+	for i := 0; i < b.N; i++ {
+		if HashRow(benchRow, cols) == 0 {
+			b.Fatal("zero hash")
+		}
+	}
+}

@@ -1,0 +1,349 @@
+// Package sqltypes defines the value, row, and schema layer shared by every
+// component of the XDB reproduction: the per-DBMS engines, the wire
+// protocol, the XDB optimizer, and the mediator baselines.
+//
+// Values are a small closed set of SQL types sufficient for TPC-H and the
+// paper's motivating workload: 64-bit integers, 64-bit floats, strings,
+// dates (days since the Unix epoch), booleans, and NULL. A Value is a plain
+// struct (no interfaces, no boxing) so that rows can be processed and hashed
+// without allocation in the hot paths of the volcano executor.
+package sqltypes
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"time"
+)
+
+// Type identifies the SQL type of a value or column.
+type Type uint8
+
+// The supported SQL types.
+const (
+	TypeNull Type = iota
+	TypeInt
+	TypeFloat
+	TypeString
+	TypeDate
+	TypeBool
+)
+
+// String returns the SQL spelling of the type.
+func (t Type) String() string {
+	switch t {
+	case TypeNull:
+		return "NULL"
+	case TypeInt:
+		return "BIGINT"
+	case TypeFloat:
+		return "DOUBLE"
+	case TypeString:
+		return "VARCHAR"
+	case TypeDate:
+		return "DATE"
+	case TypeBool:
+		return "BOOLEAN"
+	default:
+		return fmt.Sprintf("TYPE(%d)", uint8(t))
+	}
+}
+
+// ParseType parses a SQL type name as produced by Type.String, accepting the
+// usual synonyms found across the vendor dialects.
+func ParseType(s string) (Type, error) {
+	switch normalizeTypeName(s) {
+	case "NULL":
+		return TypeNull, nil
+	case "BIGINT", "INT", "INTEGER", "SMALLINT":
+		return TypeInt, nil
+	case "DOUBLE", "FLOAT", "REAL", "DECIMAL", "NUMERIC":
+		return TypeFloat, nil
+	case "VARCHAR", "CHAR", "TEXT", "STRING":
+		return TypeString, nil
+	case "DATE":
+		return TypeDate, nil
+	case "BOOLEAN", "BOOL":
+		return TypeBool, nil
+	default:
+		return TypeNull, fmt.Errorf("sqltypes: unknown type name %q", s)
+	}
+}
+
+func normalizeTypeName(s string) string {
+	// Strip a parenthesized length such as VARCHAR(25) or DECIMAL(15,2).
+	for i := 0; i < len(s); i++ {
+		if s[i] == '(' {
+			s = s[:i]
+			break
+		}
+	}
+	b := make([]byte, len(s))
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if 'a' <= c && c <= 'z' {
+			c -= 'a' - 'A'
+		}
+		b[i] = c
+	}
+	return string(b)
+}
+
+// Value is a single SQL value. The zero Value is SQL NULL.
+type Value struct {
+	// T is the type tag. For TypeNull the remaining fields are unused.
+	T Type
+	// I holds TypeInt and TypeDate (days since epoch) payloads, and 0/1
+	// for TypeBool.
+	I int64
+	// F holds the TypeFloat payload.
+	F float64
+	// S holds the TypeString payload.
+	S string
+}
+
+// Null is the SQL NULL value.
+var Null = Value{T: TypeNull}
+
+// NewInt returns a BIGINT value.
+func NewInt(v int64) Value { return Value{T: TypeInt, I: v} }
+
+// NewFloat returns a DOUBLE value.
+func NewFloat(v float64) Value { return Value{T: TypeFloat, F: v} }
+
+// NewString returns a VARCHAR value.
+func NewString(v string) Value { return Value{T: TypeString, S: v} }
+
+// NewBool returns a BOOLEAN value.
+func NewBool(v bool) Value {
+	if v {
+		return Value{T: TypeBool, I: 1}
+	}
+	return Value{T: TypeBool}
+}
+
+// NewDate returns a DATE value from days since the Unix epoch.
+func NewDate(days int64) Value { return Value{T: TypeDate, I: days} }
+
+// DateFromYMD returns a DATE value for the given calendar day (UTC).
+func DateFromYMD(year int, month time.Month, day int) Value {
+	t := time.Date(year, month, day, 0, 0, 0, 0, time.UTC)
+	return NewDate(t.Unix() / 86400)
+}
+
+// ParseDate parses a YYYY-MM-DD date literal.
+func ParseDate(s string) (Value, error) {
+	t, err := time.Parse("2006-01-02", s)
+	if err != nil {
+		return Null, fmt.Errorf("sqltypes: bad date literal %q: %w", s, err)
+	}
+	return NewDate(t.Unix() / 86400), nil
+}
+
+// IsNull reports whether the value is SQL NULL.
+func (v Value) IsNull() bool { return v.T == TypeNull }
+
+// Bool returns the boolean payload. It is false for any non-TypeBool value.
+func (v Value) Bool() bool { return v.T == TypeBool && v.I != 0 }
+
+// Int returns the integer payload, coercing floats by truncation.
+func (v Value) Int() int64 {
+	if v.T == TypeFloat {
+		return int64(v.F)
+	}
+	return v.I
+}
+
+// Float returns the numeric payload as a float64.
+func (v Value) Float() float64 {
+	if v.T == TypeFloat {
+		return v.F
+	}
+	return float64(v.I)
+}
+
+// Time returns the DATE payload as a UTC time.
+func (v Value) Time() time.Time { return time.Unix(v.I*86400, 0).UTC() }
+
+// Year returns the calendar year of a DATE value.
+func (v Value) Year() int { return v.Time().Year() }
+
+// String renders the value the way the engines print result rows.
+func (v Value) String() string {
+	switch v.T {
+	case TypeNull:
+		return "NULL"
+	case TypeInt:
+		return strconv.FormatInt(v.I, 10)
+	case TypeFloat:
+		return strconv.FormatFloat(v.F, 'g', -1, 64)
+	case TypeString:
+		return v.S
+	case TypeDate:
+		return v.Time().Format("2006-01-02")
+	case TypeBool:
+		if v.I != 0 {
+			return "true"
+		}
+		return "false"
+	default:
+		return fmt.Sprintf("?%d", uint8(v.T))
+	}
+}
+
+// SQL renders the value as a SQL literal suitable for embedding into a query
+// sent to another DBMS (used by the delegation engine and the baselines).
+func (v Value) SQL() string {
+	switch v.T {
+	case TypeNull:
+		return "NULL"
+	case TypeString:
+		return QuoteString(v.S)
+	case TypeDate:
+		return "DATE '" + v.Time().Format("2006-01-02") + "'"
+	default:
+		return v.String()
+	}
+}
+
+// QuoteString renders s as a single-quoted SQL string literal, doubling
+// embedded quotes.
+func QuoteString(s string) string {
+	b := make([]byte, 0, len(s)+2)
+	b = append(b, '\'')
+	for i := 0; i < len(s); i++ {
+		if s[i] == '\'' {
+			b = append(b, '\'')
+		}
+		b = append(b, s[i])
+	}
+	b = append(b, '\'')
+	return string(b)
+}
+
+// numericKind reports whether the type participates in numeric comparison
+// and arithmetic.
+func numericKind(t Type) bool { return t == TypeInt || t == TypeFloat }
+
+// comparableKinds reports whether two values of the given types can be
+// compared with each other.
+func comparableKinds(a, b Type) bool {
+	if a == b {
+		return true
+	}
+	if numericKind(a) && numericKind(b) {
+		return true
+	}
+	// Dates compare against ints (days) for convenience in tests.
+	if (a == TypeDate && b == TypeInt) || (a == TypeInt && b == TypeDate) {
+		return true
+	}
+	return false
+}
+
+// Compare orders two values. NULL sorts before every non-NULL value.
+// Comparing incomparable types (e.g. a string with an int) returns an error.
+func Compare(a, b Value) (int, error) {
+	if a.IsNull() || b.IsNull() {
+		switch {
+		case a.IsNull() && b.IsNull():
+			return 0, nil
+		case a.IsNull():
+			return -1, nil
+		default:
+			return 1, nil
+		}
+	}
+	if !comparableKinds(a.T, b.T) {
+		return 0, fmt.Errorf("sqltypes: cannot compare %v with %v", a.T, b.T)
+	}
+	switch {
+	case a.T == TypeString:
+		switch {
+		case a.S < b.S:
+			return -1, nil
+		case a.S > b.S:
+			return 1, nil
+		}
+		return 0, nil
+	case a.T == TypeBool:
+		return int(a.I - b.I), nil
+	case a.T == TypeFloat || b.T == TypeFloat:
+		af, bf := a.Float(), b.Float()
+		switch {
+		case af < bf:
+			return -1, nil
+		case af > bf:
+			return 1, nil
+		}
+		return 0, nil
+	default:
+		switch {
+		case a.I < b.I:
+			return -1, nil
+		case a.I > b.I:
+			return 1, nil
+		}
+		return 0, nil
+	}
+}
+
+// Equal reports whether two values are equal under SQL semantics with
+// NULL == NULL treated as true (useful for grouping); comparisons that are
+// type errors report false.
+func Equal(a, b Value) bool {
+	c, err := Compare(a, b)
+	return err == nil && c == 0
+}
+
+// Hash returns a 64-bit hash of the value, consistent with Equal: values
+// that compare equal hash identically (ints and floats holding the same
+// number hash the same).
+func Hash(v Value) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	mix := func(b byte) {
+		h ^= uint64(b)
+		h *= prime64
+	}
+	switch v.T {
+	case TypeNull:
+		mix(0)
+	case TypeString:
+		mix(1)
+		for i := 0; i < len(v.S); i++ {
+			mix(v.S[i])
+		}
+	case TypeBool:
+		mix(2)
+		mix(byte(v.I & 1))
+	default:
+		// Numeric family: hash the float64 representation so that
+		// NewInt(3) and NewFloat(3) collide, matching Equal.
+		mix(3)
+		bits := math.Float64bits(v.Float())
+		for i := 0; i < 8; i++ {
+			mix(byte(bits >> (8 * i)))
+		}
+	}
+	return h
+}
+
+// EncodedSize returns the number of bytes the binary row codec uses for the
+// value. The wire package and the transfer ledger rely on this to account
+// for bytes moved between DBMSes.
+func (v Value) EncodedSize() int {
+	switch v.T {
+	case TypeNull:
+		return 1
+	case TypeString:
+		return 1 + 4 + len(v.S)
+	case TypeBool:
+		return 2
+	default:
+		return 1 + 8
+	}
+}

@@ -1,0 +1,143 @@
+package testbed
+
+import (
+	"testing"
+
+	"xdb/internal/engine"
+	"xdb/internal/netsim"
+	"xdb/internal/sqltypes"
+	"xdb/internal/tpch"
+)
+
+func TestNewAndClose(t *testing.T) {
+	tb, err := New([]string{"a", "b"}, Config{DefaultVendor: engine.VendorTest})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Nodes) != 2 || tb.System == nil {
+		t.Fatalf("testbed = %+v", tb)
+	}
+	// Node engines are reachable over their servers.
+	for name, n := range tb.Nodes {
+		if n.Engine.Name() != name {
+			t.Errorf("engine name = %s, want %s", n.Engine.Name(), name)
+		}
+		if n.Server.Addr() == "" {
+			t.Errorf("%s: empty server address", name)
+		}
+	}
+	tb.Close()
+	// Double close is safe.
+	tb.Close()
+}
+
+func TestVendorAssignment(t *testing.T) {
+	tb, err := New([]string{"a", "b", "c"}, Config{
+		DefaultVendor: engine.VendorPostgres,
+		Vendors:       map[string]engine.Vendor{"b": engine.VendorHive},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tb.Close()
+	if v := tb.Nodes["a"].Engine.Profile().Vendor; v != engine.VendorPostgres {
+		t.Errorf("a = %s", v)
+	}
+	if v := tb.Nodes["b"].Engine.Profile().Vendor; v != engine.VendorHive {
+		t.Errorf("b = %s", v)
+	}
+}
+
+func TestLoadTableRegistersGlobally(t *testing.T) {
+	tb, err := New([]string{"a"}, Config{DefaultVendor: engine.VendorTest})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tb.Close()
+	schema := sqltypes.NewSchema(sqltypes.Column{Name: "x", Type: sqltypes.TypeInt})
+	if err := tb.LoadTable("a", "t", schema, []sqltypes.Row{{sqltypes.NewInt(1)}}); err != nil {
+		t.Fatal(err)
+	}
+	res, err := tb.System.Query("SELECT x FROM t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 || res.Rows[0][0].Int() != 1 {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+	if err := tb.LoadTable("nosuch", "t2", schema, nil); err == nil {
+		t.Error("load on unknown node succeeded")
+	}
+}
+
+func TestNewTPCHPlacesTables(t *testing.T) {
+	tb, err := NewTPCH("TD2", 0.001, Config{DefaultVendor: engine.VendorTest})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tb.Close()
+	td, _ := tpch.TD("TD2")
+	for table, node := range td {
+		if _, ok := tb.Nodes[node].Engine.Catalog().Table(table); !ok {
+			t.Errorf("table %s missing on %s", table, node)
+		}
+		// And absent everywhere else (storage autonomy: no replication).
+		for other, n := range tb.Nodes {
+			if other == node {
+				continue
+			}
+			if _, ok := n.Engine.Catalog().Table(table); ok {
+				t.Errorf("table %s replicated on %s", table, other)
+			}
+		}
+	}
+}
+
+func TestScenarioWiring(t *testing.T) {
+	tb, err := New([]string{"a", "b"}, Config{
+		DefaultVendor: engine.VendorTest,
+		Scenario:      netsim.ScenarioOnPrem,
+		TimeScale:     1e6,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tb.Close()
+	if tb.Topo.SiteOf("a") != netsim.SiteOnPrem || tb.Topo.SiteOf(MiddlewareNode) != netsim.SiteCloud {
+		t.Errorf("sites: a=%s xdb=%s", tb.Topo.SiteOf("a"), tb.Topo.SiteOf(MiddlewareNode))
+	}
+}
+
+func TestConnectorsExposed(t *testing.T) {
+	tb, err := New([]string{"a", "b"}, Config{DefaultVendor: engine.VendorTest})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tb.Close()
+	conns := tb.Connectors()
+	if len(conns) != 2 || conns["a"] == nil || conns["b"] == nil {
+		t.Fatalf("connectors = %v", conns)
+	}
+}
+
+func TestResetTransfers(t *testing.T) {
+	tb, err := New([]string{"a"}, Config{DefaultVendor: engine.VendorTest})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tb.Close()
+	schema := sqltypes.NewSchema(sqltypes.Column{Name: "x", Type: sqltypes.TypeInt})
+	if err := tb.LoadTable("a", "t", schema, []sqltypes.Row{{sqltypes.NewInt(1)}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tb.System.Query("SELECT x FROM t"); err != nil {
+		t.Fatal(err)
+	}
+	if tb.Topo.Ledger().Total() == 0 {
+		t.Error("no transfer recorded")
+	}
+	tb.ResetTransfers()
+	if tb.Topo.Ledger().Total() != 0 {
+		t.Error("reset failed")
+	}
+}

@@ -1,0 +1,98 @@
+package tpch
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+
+	"xdb/internal/sqltypes"
+)
+
+// WriteCSV writes a generated table as CSV with a header row, for the
+// xdbgen tool and for loading external tools with identical data.
+func WriteCSV(w io.Writer, table string, rows []sqltypes.Row) error {
+	schema, err := Schema(table)
+	if err != nil {
+		return err
+	}
+	cw := csv.NewWriter(w)
+	header := make([]string, schema.Len())
+	for i, c := range schema.Columns {
+		header[i] = c.Name
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	record := make([]string, schema.Len())
+	for _, r := range rows {
+		if len(r) != schema.Len() {
+			return fmt.Errorf("tpch: row has %d values for %d columns", len(r), schema.Len())
+		}
+		for i, v := range r {
+			record[i] = v.String()
+		}
+		if err := cw.Write(record); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV parses a CSV written by WriteCSV back into rows.
+func ReadCSV(r io.Reader, table string) ([]sqltypes.Row, error) {
+	schema, err := Schema(table)
+	if err != nil {
+		return nil, err
+	}
+	cr := csv.NewReader(r)
+	records, err := cr.ReadAll()
+	if err != nil {
+		return nil, err
+	}
+	if len(records) == 0 {
+		return nil, fmt.Errorf("tpch: empty CSV for %s", table)
+	}
+	rows := make([]sqltypes.Row, 0, len(records)-1)
+	for _, rec := range records[1:] {
+		if len(rec) != schema.Len() {
+			return nil, fmt.Errorf("tpch: record has %d fields for %d columns", len(rec), schema.Len())
+		}
+		row := make(sqltypes.Row, len(rec))
+		for i, field := range rec {
+			v, err := parseCSVValue(schema.Columns[i].Type, field)
+			if err != nil {
+				return nil, fmt.Errorf("tpch: column %s: %w", schema.Columns[i].Name, err)
+			}
+			row[i] = v
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+func parseCSVValue(t sqltypes.Type, s string) (sqltypes.Value, error) {
+	if s == "NULL" {
+		return sqltypes.Null, nil
+	}
+	switch t {
+	case sqltypes.TypeInt:
+		var n int64
+		if _, err := fmt.Sscanf(s, "%d", &n); err != nil {
+			return sqltypes.Null, err
+		}
+		return sqltypes.NewInt(n), nil
+	case sqltypes.TypeFloat:
+		var f float64
+		if _, err := fmt.Sscanf(s, "%g", &f); err != nil {
+			return sqltypes.Null, err
+		}
+		return sqltypes.NewFloat(f), nil
+	case sqltypes.TypeDate:
+		return sqltypes.ParseDate(s)
+	case sqltypes.TypeBool:
+		return sqltypes.NewBool(s == "true"), nil
+	default:
+		return sqltypes.NewString(s), nil
+	}
+}

@@ -1,0 +1,204 @@
+package tpch
+
+import (
+	"fmt"
+	"sort"
+)
+
+// The cross-database queries of the evaluation (Sec. VI-A): TPC-H Q3, Q5,
+// Q7, Q8, Q9, and Q10, chosen by the paper for their join counts (three to
+// eight). Q7–Q9 are flattened (the FROM-subquery formulation rewritten into
+// a single block) — the semantics are unchanged and the join graphs are
+// identical.
+//
+// Tables are referenced without database qualifiers: XDB's global catalog
+// (Global-as-a-View over the union of local schemas) resolves each table to
+// its home DBMS.
+
+// QueryNames lists the evaluation queries in the paper's order.
+var QueryNames = []string{"Q3", "Q5", "Q7", "Q8", "Q9", "Q10"}
+
+// Queries maps query name to SQL text.
+var Queries = map[string]string{
+	"Q3": `
+SELECT l_orderkey, SUM(l_extendedprice * (1 - l_discount)) AS revenue,
+       o_orderdate, o_shippriority
+FROM customer, orders, lineitem
+WHERE c_mktsegment = 'BUILDING'
+  AND c_custkey = o_custkey
+  AND l_orderkey = o_orderkey
+  AND o_orderdate < DATE '1995-03-15'
+  AND l_shipdate > DATE '1995-03-15'
+GROUP BY l_orderkey, o_orderdate, o_shippriority
+ORDER BY revenue DESC, o_orderdate
+LIMIT 10`,
+
+	"Q5": `
+SELECT n_name, SUM(l_extendedprice * (1 - l_discount)) AS revenue
+FROM customer, orders, lineitem, supplier, nation, region
+WHERE c_custkey = o_custkey
+  AND l_orderkey = o_orderkey
+  AND l_suppkey = s_suppkey
+  AND c_nationkey = s_nationkey
+  AND s_nationkey = n_nationkey
+  AND n_regionkey = r_regionkey
+  AND r_name = 'ASIA'
+  AND o_orderdate >= DATE '1994-01-01'
+  AND o_orderdate < DATE '1995-01-01'
+GROUP BY n_name
+ORDER BY revenue DESC`,
+
+	"Q7": `
+SELECT n1.n_name AS supp_nation, n2.n_name AS cust_nation,
+       EXTRACT(YEAR FROM l_shipdate) AS l_year,
+       SUM(l_extendedprice * (1 - l_discount)) AS revenue
+FROM supplier, lineitem, orders, customer, nation n1, nation n2
+WHERE s_suppkey = l_suppkey
+  AND o_orderkey = l_orderkey
+  AND c_custkey = o_custkey
+  AND s_nationkey = n1.n_nationkey
+  AND c_nationkey = n2.n_nationkey
+  AND ((n1.n_name = 'FRANCE' AND n2.n_name = 'GERMANY')
+    OR (n1.n_name = 'GERMANY' AND n2.n_name = 'FRANCE'))
+  AND l_shipdate BETWEEN DATE '1995-01-01' AND DATE '1996-12-31'
+GROUP BY supp_nation, cust_nation, l_year
+ORDER BY supp_nation, cust_nation, l_year`,
+
+	"Q8": `
+SELECT EXTRACT(YEAR FROM o_orderdate) AS o_year,
+       SUM(CASE WHEN n2.n_name = 'BRAZIL'
+                THEN l_extendedprice * (1 - l_discount) ELSE 0 END)
+       / SUM(l_extendedprice * (1 - l_discount)) AS mkt_share
+FROM part, supplier, lineitem, orders, customer, nation n1, nation n2, region
+WHERE p_partkey = l_partkey
+  AND s_suppkey = l_suppkey
+  AND l_orderkey = o_orderkey
+  AND o_custkey = c_custkey
+  AND c_nationkey = n1.n_nationkey
+  AND n1.n_regionkey = r_regionkey
+  AND r_name = 'AMERICA'
+  AND s_nationkey = n2.n_nationkey
+  AND o_orderdate BETWEEN DATE '1995-01-01' AND DATE '1996-12-31'
+  AND p_type = 'ECONOMY ANODIZED STEEL'
+GROUP BY o_year
+ORDER BY o_year`,
+
+	"Q9": `
+SELECT n_name AS nation, EXTRACT(YEAR FROM o_orderdate) AS o_year,
+       SUM(l_extendedprice * (1 - l_discount) - ps_supplycost * l_quantity) AS sum_profit
+FROM part, supplier, lineitem, partsupp, orders, nation
+WHERE s_suppkey = l_suppkey
+  AND ps_suppkey = l_suppkey
+  AND ps_partkey = l_partkey
+  AND p_partkey = l_partkey
+  AND o_orderkey = l_orderkey
+  AND s_nationkey = n_nationkey
+  AND p_name LIKE '%green%'
+GROUP BY nation, o_year
+ORDER BY nation, o_year DESC`,
+
+	"Q10": `
+SELECT c_custkey, c_name, SUM(l_extendedprice * (1 - l_discount)) AS revenue,
+       c_acctbal, n_name, c_address, c_phone, c_comment
+FROM customer, orders, lineitem, nation
+WHERE c_custkey = o_custkey
+  AND l_orderkey = o_orderkey
+  AND o_orderdate >= DATE '1993-10-01'
+  AND o_orderdate < DATE '1994-01-01'
+  AND l_returnflag = 'R'
+  AND c_nationkey = n_nationkey
+GROUP BY c_custkey, c_name, c_acctbal, c_phone, n_name, c_address, c_comment
+ORDER BY revenue DESC
+LIMIT 20`,
+}
+
+// QueryTables maps each query to the base tables it references (aliased
+// repeats listed once).
+var QueryTables = map[string][]string{
+	"Q3":  {Customer, Orders, Lineitem},
+	"Q5":  {Customer, Orders, Lineitem, Supplier, Nation, Region},
+	"Q7":  {Supplier, Lineitem, Orders, Customer, Nation},
+	"Q8":  {Part, Supplier, Lineitem, Orders, Customer, Nation, Region},
+	"Q9":  {Part, Supplier, Lineitem, PartSupp, Orders, Nation},
+	"Q10": {Customer, Orders, Lineitem, Nation},
+}
+
+// Query returns the SQL for a query name.
+func Query(name string) (string, error) {
+	q, ok := Queries[name]
+	if !ok {
+		return "", fmt.Errorf("tpch: unknown query %q", name)
+	}
+	return q, nil
+}
+
+// Distribution maps TPC-H table names to the node that stores them — one
+// row of Table III.
+type Distribution map[string]string
+
+// TDNames lists the distributions of Table III.
+var TDNames = []string{"TD1", "TD2", "TD3"}
+
+// Distributions reproduces Table III: which tables live on which DBMS in
+// each table distribution.
+var Distributions = map[string]Distribution{
+	// TD1: db1 l | db2 c,o | db3 s,n,r | db4 p,ps
+	"TD1": {
+		Lineitem: "db1",
+		Customer: "db2", Orders: "db2",
+		Supplier: "db3", Nation: "db3", Region: "db3",
+		Part: "db4", PartSupp: "db4",
+	},
+	// TD2: db1 l,s | db2 o,n,r | db3 c | db4 p,ps
+	"TD2": {
+		Lineitem: "db1", Supplier: "db1",
+		Orders: "db2", Nation: "db2", Region: "db2",
+		Customer: "db3",
+		Part:     "db4", PartSupp: "db4",
+	},
+	// TD3: db1 l | db2 o | db3 s | db4 ps | db5 c | db6 p | db7 n,r
+	"TD3": {
+		Lineitem: "db1",
+		Orders:   "db2",
+		Supplier: "db3",
+		PartSupp: "db4",
+		Customer: "db5",
+		Part:     "db6",
+		Nation:   "db7", Region: "db7",
+	},
+}
+
+// TD returns the named distribution.
+func TD(name string) (Distribution, error) {
+	d, ok := Distributions[name]
+	if !ok {
+		return nil, fmt.Errorf("tpch: unknown table distribution %q", name)
+	}
+	return d, nil
+}
+
+// Nodes returns the sorted distinct node names of a distribution.
+func (d Distribution) Nodes() []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, n := range d {
+		if !seen[n] {
+			seen[n] = true
+			out = append(out, n)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// TablesOn returns the sorted tables stored on the node.
+func (d Distribution) TablesOn(node string) []string {
+	var out []string
+	for t, n := range d {
+		if n == node {
+			out = append(out, t)
+		}
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,142 @@
+// Package tpch is the reproduction's dbgen: a deterministic generator for
+// the eight TPC-H tables with the benchmark's proportions and value
+// distributions, the cross-database queries used in the paper's evaluation
+// (Q3, Q5, Q7, Q8, Q9, Q10), and the table distributions TD1–TD3 of
+// Table III.
+package tpch
+
+import (
+	"fmt"
+
+	"xdb/internal/sqltypes"
+)
+
+// TableName enumerates the TPC-H tables.
+const (
+	Region   = "region"
+	Nation   = "nation"
+	Supplier = "supplier"
+	Part     = "part"
+	PartSupp = "partsupp"
+	Customer = "customer"
+	Orders   = "orders"
+	Lineitem = "lineitem"
+)
+
+// TableNames lists all tables in generation order (referenced tables
+// first).
+var TableNames = []string{Region, Nation, Supplier, Part, PartSupp, Customer, Orders, Lineitem}
+
+// Abbrev maps the single-letter abbreviations of Table III to table names.
+var Abbrev = map[string]string{
+	"r": Region, "n": Nation, "s": Supplier, "p": Part,
+	"ps": PartSupp, "c": Customer, "o": Orders, "l": Lineitem,
+}
+
+func col(name string, t sqltypes.Type) sqltypes.Column {
+	return sqltypes.Column{Name: name, Type: t}
+}
+
+// Schemas returns the schema of each TPC-H table.
+func Schemas() map[string]*sqltypes.Schema {
+	return map[string]*sqltypes.Schema{
+		Region: sqltypes.NewSchema(
+			col("r_regionkey", sqltypes.TypeInt),
+			col("r_name", sqltypes.TypeString),
+			col("r_comment", sqltypes.TypeString),
+		),
+		Nation: sqltypes.NewSchema(
+			col("n_nationkey", sqltypes.TypeInt),
+			col("n_name", sqltypes.TypeString),
+			col("n_regionkey", sqltypes.TypeInt),
+			col("n_comment", sqltypes.TypeString),
+		),
+		Supplier: sqltypes.NewSchema(
+			col("s_suppkey", sqltypes.TypeInt),
+			col("s_name", sqltypes.TypeString),
+			col("s_address", sqltypes.TypeString),
+			col("s_nationkey", sqltypes.TypeInt),
+			col("s_phone", sqltypes.TypeString),
+			col("s_acctbal", sqltypes.TypeFloat),
+			col("s_comment", sqltypes.TypeString),
+		),
+		Part: sqltypes.NewSchema(
+			col("p_partkey", sqltypes.TypeInt),
+			col("p_name", sqltypes.TypeString),
+			col("p_mfgr", sqltypes.TypeString),
+			col("p_brand", sqltypes.TypeString),
+			col("p_type", sqltypes.TypeString),
+			col("p_size", sqltypes.TypeInt),
+			col("p_container", sqltypes.TypeString),
+			col("p_retailprice", sqltypes.TypeFloat),
+			col("p_comment", sqltypes.TypeString),
+		),
+		PartSupp: sqltypes.NewSchema(
+			col("ps_partkey", sqltypes.TypeInt),
+			col("ps_suppkey", sqltypes.TypeInt),
+			col("ps_availqty", sqltypes.TypeInt),
+			col("ps_supplycost", sqltypes.TypeFloat),
+			col("ps_comment", sqltypes.TypeString),
+		),
+		Customer: sqltypes.NewSchema(
+			col("c_custkey", sqltypes.TypeInt),
+			col("c_name", sqltypes.TypeString),
+			col("c_address", sqltypes.TypeString),
+			col("c_nationkey", sqltypes.TypeInt),
+			col("c_phone", sqltypes.TypeString),
+			col("c_acctbal", sqltypes.TypeFloat),
+			col("c_mktsegment", sqltypes.TypeString),
+			col("c_comment", sqltypes.TypeString),
+		),
+		Orders: sqltypes.NewSchema(
+			col("o_orderkey", sqltypes.TypeInt),
+			col("o_custkey", sqltypes.TypeInt),
+			col("o_orderstatus", sqltypes.TypeString),
+			col("o_totalprice", sqltypes.TypeFloat),
+			col("o_orderdate", sqltypes.TypeDate),
+			col("o_orderpriority", sqltypes.TypeString),
+			col("o_clerk", sqltypes.TypeString),
+			col("o_shippriority", sqltypes.TypeInt),
+			col("o_comment", sqltypes.TypeString),
+		),
+		Lineitem: sqltypes.NewSchema(
+			col("l_orderkey", sqltypes.TypeInt),
+			col("l_partkey", sqltypes.TypeInt),
+			col("l_suppkey", sqltypes.TypeInt),
+			col("l_linenumber", sqltypes.TypeInt),
+			col("l_quantity", sqltypes.TypeFloat),
+			col("l_extendedprice", sqltypes.TypeFloat),
+			col("l_discount", sqltypes.TypeFloat),
+			col("l_tax", sqltypes.TypeFloat),
+			col("l_returnflag", sqltypes.TypeString),
+			col("l_linestatus", sqltypes.TypeString),
+			col("l_shipdate", sqltypes.TypeDate),
+			col("l_commitdate", sqltypes.TypeDate),
+			col("l_receiptdate", sqltypes.TypeDate),
+			col("l_shipinstruct", sqltypes.TypeString),
+			col("l_shipmode", sqltypes.TypeString),
+			col("l_comment", sqltypes.TypeString),
+		),
+	}
+}
+
+// Schema returns the schema of one table.
+func Schema(table string) (*sqltypes.Schema, error) {
+	s, ok := Schemas()[table]
+	if !ok {
+		return nil, fmt.Errorf("tpch: unknown table %q", table)
+	}
+	return s, nil
+}
+
+// BaseRows are the TPC-H row counts at scale factor 1.
+var BaseRows = map[string]int{
+	Region:   5,
+	Nation:   25,
+	Supplier: 10_000,
+	Part:     200_000,
+	PartSupp: 800_000,
+	Customer: 150_000,
+	Orders:   1_500_000,
+	Lineitem: 6_000_000, // ~4 lines per order on average
+}

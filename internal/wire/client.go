@@ -1,0 +1,263 @@
+package wire
+
+import (
+	"fmt"
+	"io"
+	"net"
+
+	"xdb/internal/engine"
+	"xdb/internal/netsim"
+	"xdb/internal/sqltypes"
+)
+
+// Client issues wire-protocol requests on behalf of a node. Every frame
+// sent or received is charged to the netsim topology: request bytes on the
+// from->to edge, response bytes on the to->from edge, both shaped by the
+// link between the two nodes. One Client is safe for concurrent use; each
+// request dials its own connection.
+type Client struct {
+	// FromNode is the node the caller runs on (a DBMS node for FDW
+	// traffic, the middleware node for XDB/mediator control traffic).
+	FromNode string
+	// Topo provides link shaping and the transfer ledger; nil disables
+	// both (unit tests).
+	Topo *netsim.Topology
+}
+
+// NewClient returns a client for the given source node.
+func NewClient(fromNode string, topo *netsim.Topology) *Client {
+	return &Client{FromNode: fromNode, Topo: topo}
+}
+
+func (c *Client) account(to string, n int, inbound bool) {
+	if c.Topo == nil {
+		return
+	}
+	if inbound {
+		c.Topo.Transfer(to, c.FromNode, n)
+	} else {
+		c.Topo.Transfer(c.FromNode, to, n)
+	}
+}
+
+func (c *Client) dial(addr string) (net.Conn, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("wire: dial %s: %w", addr, err)
+	}
+	return conn, nil
+}
+
+// roundTrip sends one request and reads one response frame.
+func (c *Client) roundTrip(addr, toNode string, reqType byte, payload []byte) (byte, []byte, error) {
+	conn, err := c.dial(addr)
+	if err != nil {
+		return 0, nil, err
+	}
+	defer conn.Close()
+	n, err := writeFrame(conn, reqType, payload)
+	if err != nil {
+		return 0, nil, err
+	}
+	c.account(toNode, n, false)
+	typ, resp, n, err := readFrame(conn)
+	if err != nil {
+		return 0, nil, err
+	}
+	c.account(toNode, n, true)
+	if typ == msgError {
+		return typ, nil, fmt.Errorf("remote %s: %s", toNode, resp)
+	}
+	return typ, resp, nil
+}
+
+// Exec runs a DDL/DML statement remotely.
+func (c *Client) Exec(addr, toNode, sql string) error {
+	typ, _, err := c.roundTrip(addr, toNode, msgExec, []byte(sql))
+	if err != nil {
+		return err
+	}
+	if typ != msgOK {
+		return fmt.Errorf("wire: unexpected response type %d to Exec", typ)
+	}
+	return nil
+}
+
+// Explain fetches the remote engine's cost/row estimates for a query.
+func (c *Client) Explain(addr, toNode, sql string) (*engine.ExplainInfo, error) {
+	typ, resp, err := c.roundTrip(addr, toNode, msgExplain, []byte(sql))
+	if err != nil {
+		return nil, err
+	}
+	if typ != msgExplainRes {
+		return nil, fmt.Errorf("wire: unexpected response type %d to Explain", typ)
+	}
+	return decodeExplain(resp)
+}
+
+// Stats fetches table statistics from a remote engine.
+func (c *Client) Stats(addr, toNode, table string) (*engine.TableStats, error) {
+	typ, resp, err := c.roundTrip(addr, toNode, msgStats, []byte(table))
+	if err != nil {
+		return nil, err
+	}
+	if typ != msgStatsRes {
+		return nil, fmt.Errorf("wire: unexpected response type %d to Stats", typ)
+	}
+	return decodeStats(resp)
+}
+
+// TableSchema fetches the column schema of a remote relation.
+func (c *Client) TableSchema(addr, toNode, table string) (*sqltypes.Schema, error) {
+	typ, resp, err := c.roundTrip(addr, toNode, msgTblSch, []byte(table))
+	if err != nil {
+		return nil, err
+	}
+	if typ != msgSchema {
+		return nil, fmt.Errorf("wire: unexpected response type %d to TableSchema", typ)
+	}
+	schema, _, err := sqltypes.DecodeSchema(resp)
+	return schema, err
+}
+
+// Cost asks the remote engine to price an operator over hypothetical
+// cardinalities, in the remote's own cost units (the consulting probe of
+// Sec. IV-B2).
+func (c *Client) Cost(addr, toNode string, kind engine.CostKind, left, right, out float64) (float64, error) {
+	typ, resp, err := c.roundTrip(addr, toNode, msgCost, encodeCostProbe(kind, left, right, out))
+	if err != nil {
+		return 0, err
+	}
+	if typ != msgCostRes {
+		return 0, fmt.Errorf("wire: unexpected response type %d to Cost", typ)
+	}
+	r := &reader{b: resp}
+	v := r.float64()
+	return v, r.err
+}
+
+// Query runs a SELECT remotely and returns the result schema plus a
+// streaming iterator over the response frames. Closing the iterator closes
+// the connection (aborting the remote stream if unfinished).
+func (c *Client) Query(addr, toNode, sql string) (*sqltypes.Schema, engine.RowIter, error) {
+	return c.QueryEnc(addr, toNode, sql, false)
+}
+
+// QueryEnc is Query with an explicit result-encoding request: forceText
+// asks the server for the JDBC-style text encoding regardless of its
+// vendor protocol (used by the presto baseline's connectors).
+func (c *Client) QueryEnc(addr, toNode, sql string, forceText bool) (*sqltypes.Schema, engine.RowIter, error) {
+	conn, err := c.dial(addr)
+	if err != nil {
+		return nil, nil, err
+	}
+	payload := make([]byte, 0, len(sql)+1)
+	if forceText {
+		payload = append(payload, 1)
+	} else {
+		payload = append(payload, 0)
+	}
+	payload = append(payload, sql...)
+	n, err := writeFrame(conn, msgQuery, payload)
+	if err != nil {
+		conn.Close()
+		return nil, nil, err
+	}
+	c.account(toNode, n, false)
+
+	typ, payload, n, err := readFrame(conn)
+	if err != nil {
+		conn.Close()
+		return nil, nil, err
+	}
+	c.account(toNode, n, true)
+	switch typ {
+	case msgError:
+		conn.Close()
+		return nil, nil, fmt.Errorf("remote %s: %s", toNode, payload)
+	case msgSchema:
+	default:
+		conn.Close()
+		return nil, nil, fmt.Errorf("wire: unexpected response type %d to Query", typ)
+	}
+	schema, _, err := sqltypes.DecodeSchema(payload)
+	if err != nil {
+		conn.Close()
+		return nil, nil, err
+	}
+	return schema, &queryIter{c: c, conn: conn, toNode: toNode}, nil
+}
+
+// QueryAll runs a SELECT remotely and materializes the result.
+func (c *Client) QueryAll(addr, toNode, sql string) (*engine.Result, error) {
+	schema, it, err := c.Query(addr, toNode, sql)
+	if err != nil {
+		return nil, err
+	}
+	rows, err := engine.Drain(it)
+	if err != nil {
+		return nil, err
+	}
+	return &engine.Result{Schema: schema, Rows: rows}, nil
+}
+
+// queryIter streams rows from the response frames of one Query.
+type queryIter struct {
+	c      *Client
+	conn   net.Conn
+	toNode string
+	batch  []sqltypes.Row
+	pos    int
+	done   bool
+}
+
+func (q *queryIter) Next() (sqltypes.Row, error) {
+	for {
+		if q.pos < len(q.batch) {
+			r := q.batch[q.pos]
+			q.pos++
+			return r, nil
+		}
+		if q.done {
+			return nil, io.EOF
+		}
+		typ, payload, n, err := readFrame(q.conn)
+		if err != nil {
+			return nil, fmt.Errorf("wire: result stream from %s: %w", q.toNode, err)
+		}
+		q.c.account(q.toNode, n, true)
+		switch typ {
+		case msgRows, msgRowsText:
+			q.batch, err = decodeRowBatch(payload, typ)
+			if err != nil {
+				return nil, err
+			}
+			q.pos = 0
+		case msgEnd:
+			q.done = true
+		case msgError:
+			return nil, fmt.Errorf("remote %s: %s", q.toNode, payload)
+		default:
+			return nil, fmt.Errorf("wire: unexpected frame type %d in result stream", typ)
+		}
+	}
+}
+
+func (q *queryIter) Close() error { return q.conn.Close() }
+
+// FDW adapts a Client to the engine's RemoteQuerier interface — it is the
+// foreign data wrapper of the SQL/MED standard: the component through which
+// one DBMS reads relations that live on another.
+type FDW struct {
+	Client *Client
+}
+
+// QueryRemote implements engine.RemoteQuerier.
+func (f *FDW) QueryRemote(srv *engine.Server, sql string) (*sqltypes.Schema, engine.RowIter, error) {
+	return f.Client.Query(srv.Addr, srv.Node, sql)
+}
+
+// StatsRemote implements engine.RemoteQuerier.
+func (f *FDW) StatsRemote(srv *engine.Server, table string) (*engine.TableStats, error) {
+	return f.Client.Stats(srv.Addr, srv.Node, table)
+}

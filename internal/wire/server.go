@@ -1,0 +1,243 @@
+package wire
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"sync"
+
+	"xdb/internal/engine"
+	"xdb/internal/sqltypes"
+)
+
+// Server exposes one engine over the wire protocol. Each accepted
+// connection is served on its own goroutine and handles a sequence of
+// requests; result rows stream as they are produced by the engine's
+// iterators, which is what turns chained foreign tables into an
+// inter-DBMS pipeline.
+type Server struct {
+	eng *engine.Engine
+	ln  net.Listener
+
+	mu     sync.Mutex
+	closed bool
+	conns  map[net.Conn]struct{}
+	wg     sync.WaitGroup
+}
+
+// NewServer starts serving the engine on a fresh loopback listener and
+// returns the server. Use Addr for the dialable address.
+func NewServer(eng *engine.Engine) (*Server, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, fmt.Errorf("wire: listen: %w", err)
+	}
+	s := &Server{eng: eng, ln: ln, conns: make(map[net.Conn]struct{})}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the server's listen address (host:port).
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Engine returns the served engine.
+func (s *Server) Engine() *engine.Engine { return s.eng }
+
+// Close stops the listener and closes active connections.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	err := s.ln.Close()
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+	return err
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.serveConn(conn)
+			s.mu.Lock()
+			delete(s.conns, conn)
+			s.mu.Unlock()
+		}()
+	}
+}
+
+func (s *Server) serveConn(conn net.Conn) {
+	defer conn.Close()
+	for {
+		typ, payload, _, err := readFrame(conn)
+		if err != nil {
+			if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) && !isConnReset(err) {
+				log.Printf("wire[%s]: read: %v", s.eng.Name(), err)
+			}
+			return
+		}
+		switch typ {
+		case msgQuery:
+			if len(payload) < 1 {
+				if werr := s.writeError(conn, fmt.Errorf("wire: empty query payload")); werr != nil {
+					return
+				}
+				continue
+			}
+			forceText := payload[0] == 1
+			if err := s.handleQuery(conn, string(payload[1:]), forceText); err != nil {
+				return
+			}
+		case msgExec:
+			if err := s.eng.Exec(string(payload)); err != nil {
+				if werr := s.writeError(conn, err); werr != nil {
+					return
+				}
+				continue
+			}
+			if _, err := writeFrame(conn, msgOK, nil); err != nil {
+				return
+			}
+		case msgExplain:
+			info, err := s.eng.Explain(string(payload))
+			if err != nil {
+				if werr := s.writeError(conn, err); werr != nil {
+					return
+				}
+				continue
+			}
+			if _, err := writeFrame(conn, msgExplainRes, encodeExplain(info)); err != nil {
+				return
+			}
+		case msgStats:
+			st, err := s.eng.Stats(string(payload))
+			if err != nil {
+				if werr := s.writeError(conn, err); werr != nil {
+					return
+				}
+				continue
+			}
+			if _, err := writeFrame(conn, msgStatsRes, encodeStats(st)); err != nil {
+				return
+			}
+		case msgTblSch:
+			schema, err := s.eng.TableSchema(string(payload))
+			if err != nil {
+				if werr := s.writeError(conn, err); werr != nil {
+					return
+				}
+				continue
+			}
+			if _, err := writeFrame(conn, msgSchema, sqltypes.AppendSchema(nil, schema)); err != nil {
+				return
+			}
+		case msgCost:
+			kind, l, r, o, err := decodeCostProbe(payload)
+			if err != nil {
+				if werr := s.writeError(conn, err); werr != nil {
+					return
+				}
+				continue
+			}
+			cost := s.eng.CostOperator(kind, l, r, o)
+			if _, err := writeFrame(conn, msgCostRes, appendFloat64(nil, cost)); err != nil {
+				return
+			}
+		default:
+			if werr := s.writeError(conn, fmt.Errorf("wire: unknown request type %d", typ)); werr != nil {
+				return
+			}
+		}
+	}
+}
+
+// handleQuery streams a SELECT's result. A non-nil return means the
+// connection is unusable. forceText overrides the vendor's transfer
+// encoding with the JDBC-style text encoding (how the presto baseline's
+// connectors fetch).
+func (s *Server) handleQuery(conn net.Conn, sql string, forceText bool) error {
+	schema, it, err := s.eng.Query(sql)
+	if err != nil {
+		return s.writeError(conn, err)
+	}
+	defer it.Close()
+	if _, err := writeFrame(conn, msgSchema, sqltypes.AppendSchema(nil, schema)); err != nil {
+		return err
+	}
+	enc := s.eng.Profile().TransferEncoding
+	if forceText {
+		enc = engine.EncodingText
+	}
+	var (
+		batch      []sqltypes.Row
+		batchBytes int
+		total      uint64
+	)
+	flush := func() error {
+		if len(batch) == 0 {
+			return nil
+		}
+		payload, typ := encodeRowBatch(batch, enc)
+		_, err := writeFrame(conn, typ, payload)
+		batch = batch[:0]
+		batchBytes = 0
+		return err
+	}
+	for {
+		row, err := it.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			// Mid-stream failure: best effort error frame after what was
+			// already flushed.
+			return s.writeError(conn, err)
+		}
+		batch = append(batch, row)
+		batchBytes += row.EncodedSize()
+		total++
+		if batchBytes >= batchTargetBytes || len(batch) >= 1024 {
+			if err := flush(); err != nil {
+				return err
+			}
+		}
+	}
+	if err := flush(); err != nil {
+		return err
+	}
+	_, err = writeFrame(conn, msgEnd, appendUint64(nil, total))
+	return err
+}
+
+func (s *Server) writeError(conn net.Conn, qerr error) error {
+	_, err := writeFrame(conn, msgError, []byte(qerr.Error()))
+	return err
+}
+
+func isConnReset(err error) bool {
+	var ne *net.OpError
+	return errors.As(err, &ne)
+}

@@ -1,0 +1,284 @@
+// Package xdb is the public API of the XDB reproduction — an in-situ
+// cross-database query processing middleware (Gavriilidis et al., ICDE
+// 2023) together with every substrate it runs on: emulated autonomous DBMS
+// engines with SQL/MED foreign tables, a wire protocol with transfer
+// accounting, a simulated network topology, and the Garlic/Presto/Sclera
+// baseline architectures.
+//
+// The middleware itself is System (the cross-database optimizer plus the
+// delegation engine). Most users want Cluster, which assembles a complete
+// in-process deployment — N DBMS nodes served over TCP on a simulated
+// topology — and exposes cross-database queries against it:
+//
+//	cluster, err := xdb.NewCluster([]string{"db1", "db2"}, xdb.ClusterConfig{})
+//	defer cluster.Close()
+//	cluster.Load("db1", "users", usersSchema, userRows)
+//	cluster.Load("db2", "orders", ordersSchema, orderRows)
+//	res, err := cluster.Query("SELECT u.name, COUNT(*) FROM users u, orders o " +
+//	    "WHERE u.id = o.user_id GROUP BY u.name")
+//
+// Queries are optimized into delegation plans, deployed as views and
+// foreign tables onto the underlying engines, and executed by the engines
+// themselves in a decentralized pipeline — the middleware never touches a
+// data row.
+package xdb
+
+import (
+	"xdb/internal/connector"
+	"xdb/internal/core"
+	"xdb/internal/engine"
+	"xdb/internal/mediator"
+	"xdb/internal/netsim"
+	"xdb/internal/sclera"
+	"xdb/internal/sqltypes"
+	"xdb/internal/testbed"
+	"xdb/internal/tpch"
+	"xdb/internal/wire"
+)
+
+// Re-exported middleware types. See the internal/core package for the
+// optimizer and delegation internals.
+type (
+	// System is the XDB middleware: optimizer + delegation engine.
+	System = core.System
+	// Options tunes the optimizer; the zero value is the paper's
+	// configuration, non-defaults drive the ablation studies.
+	Options = core.Options
+	// Result is a completed cross-database query with its delegation
+	// plan and phase breakdown.
+	Result = core.Result
+	// Breakdown is the per-phase timing of one query (prep / lopt / ann
+	// / deleg / exec), matching Fig. 15.
+	Breakdown = core.Breakdown
+	// Plan is a delegation plan: tasks pinned to DBMSes with
+	// implicit/explicit dataflow edges.
+	Plan = core.Plan
+	// Task is one delegation-plan node.
+	Task = core.Task
+	// Movement labels a dataflow edge (implicit = pipelined, explicit =
+	// materialized).
+	Movement = core.Movement
+	// Connector is XDB's per-DBMS access path.
+	Connector = connector.Connector
+	// Vendor identifies an emulated DBMS product (postgres, mariadb,
+	// hive).
+	Vendor = engine.Vendor
+	// Schema describes a relation's columns.
+	Schema = sqltypes.Schema
+	// Column is one column of a schema.
+	Column = sqltypes.Column
+	// Row is one tuple.
+	Row = sqltypes.Row
+	// Value is one SQL value.
+	Value = sqltypes.Value
+	// Topology is the simulated network.
+	Topology = netsim.Topology
+)
+
+// Movement kinds.
+const (
+	MoveImplicit = core.MoveImplicit
+	MoveExplicit = core.MoveExplicit
+)
+
+// Emulated vendors.
+const (
+	VendorPostgres = engine.VendorPostgres
+	VendorMariaDB  = engine.VendorMariaDB
+	VendorHive     = engine.VendorHive
+	// VendorTest disables CPU throttling — for tests and examples that
+	// care about semantics, not performance.
+	VendorTest = engine.VendorTest
+)
+
+// Value constructors.
+var (
+	NewInt      = sqltypes.NewInt
+	NewFloat    = sqltypes.NewFloat
+	NewString   = sqltypes.NewString
+	NewBool     = sqltypes.NewBool
+	DateFromYMD = sqltypes.DateFromYMD
+	ParseDate   = sqltypes.ParseDate
+	Null        = sqltypes.Null
+)
+
+// Type tags for schema columns.
+const (
+	TypeInt    = sqltypes.TypeInt
+	TypeFloat  = sqltypes.TypeFloat
+	TypeString = sqltypes.TypeString
+	TypeDate   = sqltypes.TypeDate
+	TypeBool   = sqltypes.TypeBool
+)
+
+// NewSchema builds a schema from columns.
+func NewSchema(cols ...Column) *Schema { return sqltypes.NewSchema(cols...) }
+
+// FormatResult renders a result as an aligned text table.
+func FormatResult(r *engine.Result) string {
+	return sqltypes.FormatRows(r.Schema, r.Rows)
+}
+
+// NewSystem creates a bare middleware (register connectors and tables
+// yourself). Most callers should use NewCluster instead.
+func NewSystem(middlewareNode, clientNode string, topo *Topology, opts Options) *System {
+	return core.NewSystem(middlewareNode, clientNode, topo, opts)
+}
+
+// Connect builds a connector to a DBMS engine served at addr, issuing
+// requests from the given source node.
+func Connect(node, addr string, vendor Vendor, fromNode string, topo *Topology) *Connector {
+	return connector.New(node, addr, vendor, wire.NewClient(fromNode, topo))
+}
+
+// ClusterConfig configures a local in-process deployment.
+type ClusterConfig struct {
+	// Scenario places the nodes: "lan" (default), "onprem", or "geo" —
+	// see internal/netsim.
+	Scenario string
+	// Vendors maps node names to vendors; unlisted nodes use
+	// DefaultVendor (postgres when empty).
+	Vendors map[string]Vendor
+	// DefaultVendor is applied to unlisted nodes.
+	DefaultVendor Vendor
+	// Options tunes the XDB optimizer.
+	Options Options
+	// TimeScale divides network shaping delays (speeds up simulations
+	// uniformly).
+	TimeScale float64
+}
+
+// Cluster is a complete local deployment: DBMS engines served over TCP on
+// a simulated topology, plus the XDB middleware wired to them.
+type Cluster struct {
+	tb *testbed.Testbed
+	// tables records every loaded table's home node, so the baseline
+	// systems can be wired with the same global schema.
+	tables map[string]string
+}
+
+// NewCluster starts engines for the named nodes and wires up the
+// middleware.
+func NewCluster(nodes []string, cfg ClusterConfig) (*Cluster, error) {
+	tb, err := testbed.New(nodes, testbed.Config{
+		Scenario:      netsim.Scenario(cfg.Scenario),
+		Vendors:       cfg.Vendors,
+		DefaultVendor: cfg.DefaultVendor,
+		Options:       cfg.Options,
+		TimeScale:     cfg.TimeScale,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Cluster{tb: tb, tables: map[string]string{}}, nil
+}
+
+// Close shuts the cluster down.
+func (c *Cluster) Close() { c.tb.Close() }
+
+// System returns the middleware for advanced use.
+func (c *Cluster) System() *System { return c.tb.System }
+
+// Topology returns the simulated network (transfer ledger, link specs).
+func (c *Cluster) Topology() *Topology { return c.tb.Topo }
+
+// Load bulk-loads a table into a node's engine and registers it in the
+// global catalog.
+func (c *Cluster) Load(node, table string, schema *Schema, rows []Row) error {
+	if err := c.tb.LoadTable(node, table, schema, rows); err != nil {
+		return err
+	}
+	c.tables[table] = node
+	return nil
+}
+
+// LoadTPCH generates and distributes TPC-H data: td names a distribution
+// from the paper's Table III ("TD1", "TD2", "TD3") whose nodes must match
+// the cluster's.
+func (c *Cluster) LoadTPCH(td string, sf float64) error {
+	dist, err := tpch.TD(td)
+	if err != nil {
+		return err
+	}
+	if err := c.tb.LoadTPCH(dist, sf, 42); err != nil {
+		return err
+	}
+	for table, node := range dist {
+		c.tables[table] = node
+	}
+	return nil
+}
+
+// Baseline system handles. Garlic and Presto follow the classic
+// Mediator-Wrapper architecture (Fig. 4a of the paper); Sclera is the
+// naive in-situ comparator that routes every intermediate through its
+// coordinator.
+type (
+	// MediatorSystem is a Garlic- or Presto-style MW baseline.
+	MediatorSystem = mediator.Mediator
+	// MediatorStats reports a mediator execution's fetch/local split.
+	MediatorStats = mediator.Stats
+	// ScleraSystem is the naive in-situ baseline.
+	ScleraSystem = sclera.Sclera
+	// ScleraStats reports its movement/execution split.
+	ScleraStats = sclera.Stats
+)
+
+// NewGarlic wires the Garlic baseline to this cluster's DBMSes, with the
+// same table mapping as the middleware.
+func (c *Cluster) NewGarlic() (*MediatorSystem, error) {
+	m := mediator.NewGarlic(testbed.MiddlewareNode, c.tb.Topo, c.tb.Connectors())
+	return m, c.registerAll(m.RegisterTable)
+}
+
+// NewPresto wires a Presto baseline with the given worker count.
+func (c *Cluster) NewPresto(workers int) (*MediatorSystem, error) {
+	m := mediator.NewPresto(testbed.MiddlewareNode, c.tb.Topo, c.tb.Connectors(), workers)
+	return m, c.registerAll(m.RegisterTable)
+}
+
+// NewSclera wires the ScleraDB-like baseline.
+func (c *Cluster) NewSclera() (*ScleraSystem, error) {
+	s := sclera.New(sclera.Config{
+		Node:       testbed.MiddlewareNode,
+		Topo:       c.tb.Topo,
+		Connectors: c.tb.Connectors(),
+	})
+	return s, c.registerAll(s.RegisterTable)
+}
+
+func (c *Cluster) registerAll(register func(table, node string) error) error {
+	for table, node := range c.tables {
+		if err := register(table, node); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Query optimizes, delegates, and executes a cross-database query.
+func (c *Cluster) Query(sql string) (*Result, error) {
+	return c.tb.System.Query(sql)
+}
+
+// PlanOnly runs the optimizer pipeline without deploying anything.
+func (c *Cluster) PlanOnly(sql string) (*Plan, *Breakdown, error) {
+	return c.tb.System.Plan(sql)
+}
+
+// Describe renders the query's delegation plan with each task's SQL —
+// XDB's EXPLAIN. Nothing is deployed.
+func (c *Cluster) Describe(sql string) (string, error) {
+	plan, _, err := c.tb.System.Plan(sql)
+	if err != nil {
+		return "", err
+	}
+	return plan.Describe()
+}
+
+// TransferTotal returns the bytes moved between distinct nodes since the
+// last ResetTransfers.
+func (c *Cluster) TransferTotal() int64 { return c.tb.Topo.Ledger().Total() }
+
+// ResetTransfers clears the transfer ledger.
+func (c *Cluster) ResetTransfers() { c.tb.ResetTransfers() }

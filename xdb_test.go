@@ -1,0 +1,216 @@
+package xdb_test
+
+import (
+	"strings"
+	"testing"
+
+	"xdb"
+)
+
+func newQuickstartCluster(t *testing.T) *xdb.Cluster {
+	t.Helper()
+	cluster, err := xdb.NewCluster([]string{"db1", "db2"}, xdb.ClusterConfig{
+		DefaultVendor: xdb.VendorTest,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(cluster.Close)
+
+	users := xdb.NewSchema(
+		xdb.Column{Name: "id", Type: xdb.TypeInt},
+		xdb.Column{Name: "name", Type: xdb.TypeString},
+	)
+	if err := cluster.Load("db1", "users", users, []xdb.Row{
+		{xdb.NewInt(1), xdb.NewString("ada")},
+		{xdb.NewInt(2), xdb.NewString("grace")},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	orders := xdb.NewSchema(
+		xdb.Column{Name: "id", Type: xdb.TypeInt},
+		xdb.Column{Name: "user_id", Type: xdb.TypeInt},
+		xdb.Column{Name: "amount", Type: xdb.TypeFloat},
+	)
+	var rows []xdb.Row
+	for i := 0; i < 60; i++ {
+		rows = append(rows, xdb.Row{
+			xdb.NewInt(int64(i)), xdb.NewInt(int64(1 + i%2)), xdb.NewFloat(float64(i)),
+		})
+	}
+	if err := cluster.Load("db2", "orders", orders, rows); err != nil {
+		t.Fatal(err)
+	}
+	return cluster
+}
+
+func TestClusterQuery(t *testing.T) {
+	cluster := newQuickstartCluster(t)
+	res, err := cluster.Query(`
+		SELECT u.name, COUNT(*) AS n FROM users u, orders o
+		WHERE u.id = o.user_id GROUP BY u.name ORDER BY u.name`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+	if res.Rows[0][0].String() != "ada" || res.Rows[0][1].Int() != 30 {
+		t.Fatalf("row = %v", res.Rows[0])
+	}
+	out := xdb.FormatResult(res.Result)
+	if !strings.Contains(out, "ada") || !strings.Contains(out, "grace") {
+		t.Errorf("FormatResult:\n%s", out)
+	}
+}
+
+func TestClusterPlanOnly(t *testing.T) {
+	cluster := newQuickstartCluster(t)
+	plan, bd, err := cluster.PlanOnly("SELECT u.name FROM users u, orders o WHERE u.id = o.user_id")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Tasks) < 2 {
+		t.Errorf("plan tasks = %d:\n%s", len(plan.Tasks), plan)
+	}
+	if bd.ConsultRounds == 0 {
+		t.Error("no consulting during planning")
+	}
+}
+
+func TestClusterTransfersAccounted(t *testing.T) {
+	cluster := newQuickstartCluster(t)
+	cluster.ResetTransfers()
+	if _, err := cluster.Query("SELECT COUNT(*) FROM users u, orders o WHERE u.id = o.user_id"); err != nil {
+		t.Fatal(err)
+	}
+	if cluster.TransferTotal() == 0 {
+		t.Error("no transfers accounted")
+	}
+	cluster.ResetTransfers()
+	if cluster.TransferTotal() != 0 {
+		t.Error("ResetTransfers failed")
+	}
+}
+
+func TestClusterBaselinesAgree(t *testing.T) {
+	cluster := newQuickstartCluster(t)
+	const q = `SELECT u.name, SUM(o.amount) AS total FROM users u, orders o
+		WHERE u.id = o.user_id GROUP BY u.name ORDER BY u.name`
+	want, err := cluster.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	garlic, err := cluster.NewGarlic()
+	if err != nil {
+		t.Fatal(err)
+	}
+	gres, gstats, err := garlic.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gres.Rows) != len(want.Rows) {
+		t.Fatalf("garlic rows = %d, want %d", len(gres.Rows), len(want.Rows))
+	}
+	if gstats.Fragments != 2 {
+		t.Errorf("fragments = %d", gstats.Fragments)
+	}
+	presto, err := cluster.NewPresto(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pres, _, err := presto.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pres.Rows) != len(want.Rows) {
+		t.Fatalf("presto rows = %d", len(pres.Rows))
+	}
+	scl, err := cluster.NewSclera()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sres, _, err := scl.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sres.Rows) != len(want.Rows) {
+		t.Fatalf("sclera rows = %d", len(sres.Rows))
+	}
+	for i := range want.Rows {
+		for _, other := range [][]xdb.Row{gres.Rows, pres.Rows, sres.Rows} {
+			if other[i][0].String() != want.Rows[i][0].String() {
+				t.Fatalf("row %d key mismatch", i)
+			}
+		}
+	}
+}
+
+func TestClusterTPCH(t *testing.T) {
+	cluster, err := xdb.NewCluster([]string{"db1", "db2", "db3", "db4"}, xdb.ClusterConfig{
+		DefaultVendor: xdb.VendorTest,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cluster.Close()
+	if err := cluster.LoadTPCH("TD1", 0.002); err != nil {
+		t.Fatal(err)
+	}
+	res, err := cluster.Query(`
+		SELECT l_orderkey, SUM(l_extendedprice * (1 - l_discount)) AS revenue
+		FROM customer, orders, lineitem
+		WHERE c_mktsegment = 'BUILDING' AND c_custkey = o_custkey AND l_orderkey = o_orderkey
+		GROUP BY l_orderkey ORDER BY revenue DESC LIMIT 5`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 5 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	// Loading a TD whose nodes don't exist must fail.
+	if err := cluster.LoadTPCH("TD3", 0.001); err == nil {
+		t.Error("TD3 load on a 4-node cluster succeeded")
+	}
+}
+
+func TestClusterErrors(t *testing.T) {
+	cluster := newQuickstartCluster(t)
+	if _, err := cluster.Query("SELECT * FROM nosuch"); err == nil {
+		t.Error("unknown table accepted")
+	}
+	if err := cluster.Load("nosuchnode", "t", xdb.NewSchema(), nil); err == nil {
+		t.Error("unknown node accepted")
+	}
+	if err := cluster.LoadTPCH("TD9", 0.001); err == nil {
+		t.Error("unknown TD accepted")
+	}
+}
+
+func TestValueHelpers(t *testing.T) {
+	if v, err := xdb.ParseDate("2021-03-04"); err != nil || v.String() != "2021-03-04" {
+		t.Errorf("ParseDate = %v, %v", v, err)
+	}
+	if !xdb.Null.IsNull() {
+		t.Error("Null is not null")
+	}
+	if xdb.NewBool(true).Bool() != true {
+		t.Error("NewBool")
+	}
+}
+
+func TestClusterDescribe(t *testing.T) {
+	cluster := newQuickstartCluster(t)
+	out, err := cluster.Describe("SELECT u.name FROM users u, orders o WHERE u.id = o.user_id")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"t1 @", "SELECT", "-->"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Describe missing %q:\n%s", want, out)
+		}
+	}
+	if _, err := cluster.Describe("SELECT * FROM nosuch"); err == nil {
+		t.Error("Describe of unknown table succeeded")
+	}
+}
