@@ -1,0 +1,29 @@
+GO ?= go
+
+.PHONY: build test race vet bench bench-transport check
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+# The transport and delegation layers carry the concurrency-sensitive
+# code (connection pool checkout, parallel delegation, server-registration
+# dedupe); run them under the race detector.
+race:
+	$(GO) vet ./...
+	$(GO) test -race ./internal/wire/... ./internal/core/...
+
+# Full experiment regeneration (slow; see EXPERIMENTS.md).
+bench:
+	$(GO) test -bench=. -benchtime=1x -timeout=2h .
+
+# The pooled-vs-per-dial transport A/B (EXPERIMENTS.md "Wire transport").
+bench-transport:
+	$(GO) test -bench='BenchmarkProbe' -benchtime=2000x ./internal/wire/
+
+check: build vet test

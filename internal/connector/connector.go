@@ -7,6 +7,7 @@
 package connector
 
 import (
+	"context"
 	"fmt"
 	"sync/atomic"
 
@@ -54,6 +55,12 @@ func New(node, addr string, vendor engine.Vendor, client *wire.Client) *Connecto
 // Probes returns the number of consulting round trips made so far.
 func (c *Connector) Probes() int64 { return c.probes.Load() }
 
+// Transport returns the wire transport counters (dials, reuses, retries,
+// timeouts) of the client this connector issues requests through — the
+// connection-level complement of Probes(). Connectors created from the
+// same client share one transport, so the counters aggregate across them.
+func (c *Connector) Transport() wire.TransportStats { return c.client.Transport() }
+
 // ResetProbes clears the probe counter (called per query by the breakdown
 // instrumentation).
 func (c *Connector) ResetProbes() { c.probes.Store(0) }
@@ -62,10 +69,10 @@ func (c *Connector) ResetProbes() { c.probes.Store(0) }
 // probing the cost of a canonical operator whose true cost XDB defines to
 // be its input cardinality. This is the "simple calibration approach" of
 // the paper's footnote 6.
-func (c *Connector) Calibrate() error {
+func (c *Connector) Calibrate(ctx context.Context) error {
 	const canonicalRows = 100000
 	c.probes.Add(1)
-	raw, err := c.client.Cost(c.Addr, c.Node, engine.CostScan, canonicalRows, 0, 0)
+	raw, err := c.client.Cost(ctx, c.Addr, c.Node, engine.CostScan, canonicalRows, 0, 0)
 	if err != nil {
 		return fmt.Errorf("connector %s: calibrate: %w", c.Node, err)
 	}
@@ -79,28 +86,29 @@ func (c *Connector) Calibrate() error {
 // Calibration returns the current unit-conversion factor.
 func (c *Connector) Calibration() float64 { return c.calibration }
 
-// Exec deploys a DDL statement.
-func (c *Connector) Exec(ddl string) error {
-	return c.client.Exec(c.Addr, c.Node, ddl)
+// Exec deploys a DDL statement. DDL is never retried by the transport;
+// the context (or the client's configured RequestTimeout) bounds it.
+func (c *Connector) Exec(ctx context.Context, ddl string) error {
+	return c.client.Exec(ctx, c.Addr, c.Node, ddl)
 }
 
 // Query runs a SELECT and streams results (used by the mediator baselines
 // and the XDB client).
-func (c *Connector) Query(sql string) (*engine.Result, error) {
-	return c.client.QueryAll(c.Addr, c.Node, sql)
+func (c *Connector) Query(ctx context.Context, sql string) (*engine.Result, error) {
+	return c.client.QueryAll(ctx, c.Addr, c.Node, sql)
 }
 
 // QueryStream runs a SELECT and returns the result schema and streaming
 // iterator.
-func (c *Connector) QueryStream(sql string) (*sqltypes.Schema, engine.RowIter, error) {
-	return c.client.Query(c.Addr, c.Node, sql)
+func (c *Connector) QueryStream(ctx context.Context, sql string) (*sqltypes.Schema, engine.RowIter, error) {
+	return c.client.Query(ctx, c.Addr, c.Node, sql)
 }
 
 // Explain fetches calibrated cost and row estimates for a query on the
 // DBMS.
-func (c *Connector) Explain(sql string) (cost, rows float64, err error) {
+func (c *Connector) Explain(ctx context.Context, sql string) (cost, rows float64, err error) {
 	c.probes.Add(1)
-	info, err := c.client.Explain(c.Addr, c.Node, sql)
+	info, err := c.client.Explain(ctx, c.Addr, c.Node, sql)
 	if err != nil {
 		return 0, 0, fmt.Errorf("connector %s: explain: %w", c.Node, err)
 	}
@@ -108,9 +116,9 @@ func (c *Connector) Explain(sql string) (cost, rows float64, err error) {
 }
 
 // Stats fetches table statistics.
-func (c *Connector) Stats(table string) (*engine.TableStats, error) {
+func (c *Connector) Stats(ctx context.Context, table string) (*engine.TableStats, error) {
 	c.probes.Add(1)
-	st, err := c.client.Stats(c.Addr, c.Node, table)
+	st, err := c.client.Stats(ctx, c.Addr, c.Node, table)
 	if err != nil {
 		return nil, fmt.Errorf("connector %s: stats(%s): %w", c.Node, table, err)
 	}
@@ -118,9 +126,9 @@ func (c *Connector) Stats(table string) (*engine.TableStats, error) {
 }
 
 // TableSchema fetches the column schema of a relation on the DBMS.
-func (c *Connector) TableSchema(table string) (*sqltypes.Schema, error) {
+func (c *Connector) TableSchema(ctx context.Context, table string) (*sqltypes.Schema, error) {
 	c.probes.Add(1)
-	schema, err := c.client.TableSchema(c.Addr, c.Node, table)
+	schema, err := c.client.TableSchema(ctx, c.Addr, c.Node, table)
 	if err != nil {
 		return nil, fmt.Errorf("connector %s: schema(%s): %w", c.Node, table, err)
 	}
@@ -130,9 +138,9 @@ func (c *Connector) TableSchema(table string) (*sqltypes.Schema, error) {
 // CostOperator consults the DBMS for the calibrated cost of an operator
 // over hypothetical cardinalities — one "consultation roundtrip" of
 // Sec. IV-B2.
-func (c *Connector) CostOperator(kind engine.CostKind, left, right, out float64) (float64, error) {
+func (c *Connector) CostOperator(ctx context.Context, kind engine.CostKind, left, right, out float64) (float64, error) {
 	c.probes.Add(1)
-	raw, err := c.client.Cost(c.Addr, c.Node, kind, left, right, out)
+	raw, err := c.client.Cost(ctx, c.Addr, c.Node, kind, left, right, out)
 	if err != nil {
 		return 0, fmt.Errorf("connector %s: cost probe: %w", c.Node, err)
 	}
@@ -140,23 +148,23 @@ func (c *Connector) CostOperator(kind engine.CostKind, left, right, out float64)
 }
 
 // DeployView creates a view through the vendor dialect.
-func (c *Connector) DeployView(name string, query *sqlparser.Select) error {
-	return c.Exec(c.Dialect.CreateView(name, query))
+func (c *Connector) DeployView(ctx context.Context, name string, query *sqlparser.Select) error {
+	return c.Exec(ctx, c.Dialect.CreateView(name, query))
 }
 
 // DeployServer registers a peer DBMS as a SQL/MED server.
-func (c *Connector) DeployServer(name, addr, node string) error {
-	return c.Exec(c.Dialect.CreateServer(name, addr, node))
+func (c *Connector) DeployServer(ctx context.Context, name, addr, node string) error {
+	return c.Exec(ctx, c.Dialect.CreateServer(name, addr, node))
 }
 
 // DeployForeignTable declares a foreign table over a peer's relation.
 // materialize requests fetch-and-store semantics (explicit movement).
-func (c *Connector) DeployForeignTable(name string, cols []sqltypes.Column, server, remoteTable string, materialize bool) error {
-	return c.Exec(c.Dialect.CreateForeignTable(name, cols, server, remoteTable, materialize))
+func (c *Connector) DeployForeignTable(ctx context.Context, name string, cols []sqltypes.Column, server, remoteTable string, materialize bool) error {
+	return c.Exec(ctx, c.Dialect.CreateForeignTable(name, cols, server, remoteTable, materialize))
 }
 
 // DeployTableAs materializes a query into a local table (explicit data
 // movement).
-func (c *Connector) DeployTableAs(name string, query *sqlparser.Select) error {
-	return c.Exec(c.Dialect.CreateTableAs(name, query))
+func (c *Connector) DeployTableAs(ctx context.Context, name string, query *sqlparser.Select) error {
+	return c.Exec(ctx, c.Dialect.CreateTableAs(name, query))
 }

@@ -1,6 +1,7 @@
 package connector
 
 import (
+	"context"
 	"math"
 	"strings"
 	"testing"
@@ -45,10 +46,10 @@ func TestCalibrationAlignsCostUnits(t *testing.T) {
 	var costs []float64
 	for _, v := range []engine.Vendor{engine.VendorPostgres, engine.VendorHive, engine.VendorMariaDB} {
 		_, c := newConnectedEngine(t, v)
-		if err := c.Calibrate(); err != nil {
+		if err := c.Calibrate(context.Background()); err != nil {
 			t.Fatal(err)
 		}
-		got, err := c.CostOperator(engine.CostScan, 5000, 0, 0)
+		got, err := c.CostOperator(context.Background(), engine.CostScan, 5000, 0, 0)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -67,15 +68,15 @@ func TestCalibrationPreservesVendorDifferences(t *testing.T) {
 	_, pg := newConnectedEngine(t, engine.VendorPostgres)
 	_, ma := newConnectedEngine(t, engine.VendorMariaDB)
 	for _, c := range []*Connector{pg, ma} {
-		if err := c.Calibrate(); err != nil {
+		if err := c.Calibrate(context.Background()); err != nil {
 			t.Fatal(err)
 		}
 	}
-	pgJoin, err := pg.CostOperator(engine.CostJoin, 1000, 1000, 500)
+	pgJoin, err := pg.CostOperator(context.Background(), engine.CostJoin, 1000, 1000, 500)
 	if err != nil {
 		t.Fatal(err)
 	}
-	maJoin, err := ma.CostOperator(engine.CostJoin, 1000, 1000, 500)
+	maJoin, err := ma.CostOperator(context.Background(), engine.CostJoin, 1000, 1000, 500)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -87,21 +88,21 @@ func TestCalibrationPreservesVendorDifferences(t *testing.T) {
 func TestStatsAndSchemaAndExplain(t *testing.T) {
 	e, c := newConnectedEngine(t, engine.VendorPostgres)
 	loadSample(t, e)
-	st, err := c.Stats("t")
+	st, err := c.Stats(context.Background(), "t")
 	if err != nil {
 		t.Fatal(err)
 	}
 	if st.RowCount != 1000 {
 		t.Errorf("rows = %d", st.RowCount)
 	}
-	schema, err := c.TableSchema("t")
+	schema, err := c.TableSchema(context.Background(), "t")
 	if err != nil {
 		t.Fatal(err)
 	}
 	if schema.Len() != 2 || schema.Columns[1].Type != sqltypes.TypeFloat {
 		t.Errorf("schema = %v", schema)
 	}
-	cost, rows, err := c.Explain("SELECT * FROM t WHERE id < 100")
+	cost, rows, err := c.Explain(context.Background(), "SELECT * FROM t WHERE id < 100")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -124,20 +125,20 @@ func TestDeployHelpers(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := c.DeployView("v1", q); err != nil {
+	if err := c.DeployView(context.Background(), "v1", q); err != nil {
 		t.Fatal(err)
 	}
-	res, err := c.Query("SELECT COUNT(*) FROM v1")
+	res, err := c.Query(context.Background(), "SELECT COUNT(*) FROM v1")
 	if err != nil {
 		t.Fatal(err)
 	}
 	if res.Rows[0][0].Int() != 10 {
 		t.Errorf("view count = %v", res.Rows[0][0])
 	}
-	if err := c.DeployTableAs("t2", q); err != nil {
+	if err := c.DeployTableAs(context.Background(), "t2", q); err != nil {
 		t.Fatal(err)
 	}
-	res, err = c.Query("SELECT COUNT(*) FROM t2")
+	res, err = c.Query(context.Background(), "SELECT COUNT(*) FROM t2")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -146,16 +147,16 @@ func TestDeployHelpers(t *testing.T) {
 	}
 	// Server + foreign table deployment in the vendor dialect (a MariaDB
 	// federated table pointing back at the same engine).
-	if err := c.DeployServer("self", c.Addr, "dbx"); err != nil {
+	if err := c.DeployServer(context.Background(), "self", c.Addr, "dbx"); err != nil {
 		t.Fatal(err)
 	}
 	cols := []sqltypes.Column{{Name: "id", Type: sqltypes.TypeInt}}
-	if err := c.DeployForeignTable("ft", cols, "self", "v1", false); err != nil {
+	if err := c.DeployForeignTable(context.Background(), "ft", cols, "self", "v1", false); err != nil {
 		t.Fatal(err)
 	}
 	// Querying ft requires the engine's FDW to be configured.
 	e.SetRemote(&wire.FDW{Client: wire.NewClient("dbx", netsim.Unshaped("dbx"))})
-	res, err = c.Query("SELECT COUNT(*) FROM ft")
+	res, err = c.Query(context.Background(), "SELECT COUNT(*) FROM ft")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -167,7 +168,7 @@ func TestDeployHelpers(t *testing.T) {
 func TestQueryStream(t *testing.T) {
 	e, c := newConnectedEngine(t, engine.VendorPostgres)
 	loadSample(t, e)
-	schema, it, err := c.QueryStream("SELECT id FROM t")
+	schema, it, err := c.QueryStream(context.Background(), "SELECT id FROM t")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -182,14 +183,14 @@ func TestQueryStream(t *testing.T) {
 
 func TestConnectorErrorsCarryNode(t *testing.T) {
 	_, c := newConnectedEngine(t, engine.VendorPostgres)
-	_, err := c.Stats("nosuch")
+	_, err := c.Stats(context.Background(), "nosuch")
 	if err == nil || !strings.Contains(err.Error(), "dbx") {
 		t.Errorf("err = %v", err)
 	}
-	if err := c.Exec("DROP TABLE nosuch"); err == nil {
+	if err := c.Exec(context.Background(), "DROP TABLE nosuch"); err == nil {
 		t.Error("bad exec succeeded")
 	}
-	if _, _, err := c.Explain("SELEC"); err == nil {
+	if _, _, err := c.Explain(context.Background(), "SELEC"); err == nil {
 		t.Error("bad explain succeeded")
 	}
 }

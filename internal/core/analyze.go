@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+
 	"xdb/internal/connector"
 	"xdb/internal/sqlparser"
 )
@@ -38,7 +40,7 @@ func Analyze(catalog *Catalog, sel *sqlparser.Select) (*Analysis, error) {
 // references, through the given connectors — the shared preparation step
 // of XDB and the baselines. Entries already carrying schema and stats are
 // reused; refreshed entries are republished immutably.
-func GatherMetadata(catalog *Catalog, connectors map[string]*connector.Connector, sel *sqlparser.Select) error {
+func GatherMetadata(ctx context.Context, catalog *Catalog, connectors map[string]*connector.Connector, sel *sqlparser.Select) error {
 	seen := map[string]bool{}
 	for _, ref := range sel.From {
 		info, ok := catalog.Lookup(ref.Name)
@@ -58,14 +60,14 @@ func GatherMetadata(catalog *Catalog, connectors map[string]*connector.Connector
 		}
 		updated := &TableInfo{Name: info.Name, Node: info.Node, Schema: info.Schema, Stats: info.Stats}
 		if updated.Schema == nil {
-			schema, err := conn.TableSchema(info.Name)
+			schema, err := conn.TableSchema(ctx, info.Name)
 			if err != nil {
 				return err
 			}
 			updated.Schema = schema
 		}
 		if updated.Stats == nil {
-			st, err := conn.Stats(info.Name)
+			st, err := conn.Stats(ctx, info.Name)
 			if err != nil {
 				return err
 			}

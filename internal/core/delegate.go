@@ -5,6 +5,7 @@ import (
 	"strings"
 	"sync"
 
+	"xdb/internal/connector"
 	"xdb/internal/sqltypes"
 )
 
@@ -30,6 +31,38 @@ type Deployment struct {
 	cleanup []cleanupItem
 	// DDLCount is the number of DDL statements deployed.
 	DDLCount int
+	// servers dedupes SQL/MED server registrations per (consumer,
+	// producer) node pair: sibling edges deploying concurrently must
+	// issue the CREATE SERVER exactly once and count it once.
+	servers map[string]*serverReg
+}
+
+// serverReg tracks one in-flight or completed server registration.
+type serverReg struct {
+	done chan struct{}
+	err  error
+}
+
+// registerServer runs create exactly once per key within the deployment.
+// The first caller issues the DDL; concurrent callers for the same key
+// block until it completes and share its outcome, so a foreign table is
+// never deployed against a server registration that has not finished.
+func (d *Deployment) registerServer(key string, create func() error) error {
+	d.mu.Lock()
+	if d.servers == nil {
+		d.servers = map[string]*serverReg{}
+	}
+	if reg, ok := d.servers[key]; ok {
+		d.mu.Unlock()
+		<-reg.done
+		return reg.err
+	}
+	reg := &serverReg{done: make(chan struct{})}
+	d.servers[key] = reg
+	d.mu.Unlock()
+	reg.err = create()
+	close(reg.done)
+	return reg.err
 }
 
 func (d *Deployment) record(item cleanupItem, ddls int) {
@@ -98,7 +131,9 @@ func (s *System) processTask(plan *Plan, t *Task, qid int64, dep *Deployment) (s
 		return "", err
 	}
 	viewName := fmt.Sprintf("xdb%d_t%d", qid, t.ID)
-	if err := conn.DeployView(viewName, sel); err != nil {
+	vctx, vcancel := s.reqCtx()
+	defer vcancel()
+	if err := conn.DeployView(vctx, viewName, sel); err != nil {
 		return "", fmt.Errorf("core: deploy view %s on %s: %w", viewName, t.Node, err)
 	}
 	dep.record(cleanupItem{node: t.Node, sql: conn.Dialect.DropView(viewName)}, 1)
@@ -123,12 +158,12 @@ func (s *System) deployInput(plan *Plan, t *Task, edge *Edge, qid int64, dep *De
 	conn := s.connectors[t.Node]
 	childConn := s.connectors[edge.From.Node]
 
-	// CREATE SERVER (idempotent per node pair; engines overwrite).
+	// CREATE SERVER, exactly once per (consumer, producer) pair even when
+	// sibling edges deploy concurrently.
 	serverName := "xdbsrv_" + edge.From.Node
-	if err := conn.DeployServer(serverName, childConn.Addr, edge.From.Node); err != nil {
-		return fmt.Errorf("core: deploy server %s on %s: %w", serverName, t.Node, err)
+	if err := s.deployServerOnce(dep, conn, t.Node, serverName, childConn.Addr, edge.From.Node); err != nil {
+		return err
 	}
-	dep.addDDL(1)
 
 	// CREATE FOREIGN TABLE (Algorithm 1, line 7), with fetch-and-store
 	// semantics when the movement is explicit (line 9).
@@ -138,7 +173,9 @@ func (s *System) deployInput(plan *Plan, t *Task, edge *Edge, qid int64, dep *De
 		cols[i] = sqltypes.Column{Name: MangleCol(gid), Type: edge.Placeholder.Types[i]}
 	}
 	materialize := edge.Move == MoveExplicit
-	if err := conn.DeployForeignTable(ftName, cols, serverName, childView, materialize); err != nil {
+	ctx, cancel := s.reqCtx()
+	defer cancel()
+	if err := conn.DeployForeignTable(ctx, ftName, cols, serverName, childView, materialize); err != nil {
 		return fmt.Errorf("core: deploy foreign table %s on %s: %w", ftName, t.Node, err)
 	}
 	dep.record(cleanupItem{node: t.Node, sql: conn.Dialect.DropTable(ftName)}, 1)
@@ -162,16 +199,17 @@ func (s *System) deployRawForeign(t *Task, edge *Edge, qid int64, dep *Deploymen
 	scan := edge.From.Root.(*Scan)
 	childConn := s.connectors[edge.From.Node]
 	serverName := "xdbsrv_" + edge.From.Node
-	if err := conn.DeployServer(serverName, childConn.Addr, edge.From.Node); err != nil {
-		return fmt.Errorf("core: deploy server %s on %s: %w", serverName, t.Node, err)
+	if err := s.deployServerOnce(dep, conn, t.Node, serverName, childConn.Addr, edge.From.Node); err != nil {
+		return err
 	}
-	dep.addDDL(1)
 	ftName := fmt.Sprintf("xdb%d_ft%d", qid, edge.From.ID)
 	cols := make([]sqltypes.Column, len(scan.Schema.Columns))
 	for i, c := range scan.Schema.Columns {
 		cols[i] = sqltypes.Column{Name: c.Name, Type: c.Type}
 	}
-	if err := conn.DeployForeignTable(ftName, cols, serverName, scan.Table, edge.Move == MoveExplicit); err != nil {
+	ctx, cancel := s.reqCtx()
+	defer cancel()
+	if err := conn.DeployForeignTable(ctx, ftName, cols, serverName, scan.Table, edge.Move == MoveExplicit); err != nil {
 		return fmt.Errorf("core: deploy raw foreign table %s on %s: %w", ftName, t.Node, err)
 	}
 	dep.record(cleanupItem{node: t.Node, sql: conn.Dialect.DropTable(ftName)}, 1)
@@ -180,8 +218,25 @@ func (s *System) deployRawForeign(t *Task, edge *Edge, qid int64, dep *Deploymen
 	return nil
 }
 
+// deployServerOnce registers the producer's SQL/MED server on the
+// consumer exactly once per deployment, counting the DDL once.
+func (s *System) deployServerOnce(dep *Deployment, conn *connector.Connector, onNode, serverName, addr, forNode string) error {
+	key := onNode + "\x00" + forNode
+	return dep.registerServer(key, func() error {
+		ctx, cancel := s.reqCtx()
+		defer cancel()
+		if err := conn.DeployServer(ctx, serverName, addr, forNode); err != nil {
+			return fmt.Errorf("core: deploy server %s on %s: %w", serverName, onNode, err)
+		}
+		dep.addDDL(1)
+		return nil
+	})
+}
+
 // cleanupDeployment drops the query's short-lived relations in reverse
-// creation order. Errors are collected but do not stop the sweep.
+// creation order. Each drop is individually bounded by CleanupTimeout
+// (falling back to RequestTimeout), so a dead or hung node cannot stall
+// the sweep; errors are collected but do not stop it.
 func (s *System) cleanupDeployment(dep *Deployment) error {
 	var errs []string
 	for i := len(dep.cleanup) - 1; i >= 0; i-- {
@@ -190,7 +245,10 @@ func (s *System) cleanupDeployment(dep *Deployment) error {
 		if !ok {
 			continue
 		}
-		if err := conn.Exec(item.sql); err != nil {
+		ctx, cancel := s.cleanupCtx()
+		err := conn.Exec(ctx, item.sql)
+		cancel()
+		if err != nil {
 			errs = append(errs, err.Error())
 		}
 	}

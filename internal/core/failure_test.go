@@ -1,9 +1,12 @@
 package core_test
 
 import (
+	"io"
+	"net"
 	"strings"
 	"sync"
 	"testing"
+	"time"
 
 	"xdb/internal/core"
 	"xdb/internal/engine"
@@ -183,5 +186,115 @@ func TestOptionsAccessor(t *testing.T) {
 	sys := core.NewSystem("m", "c", nil, core.Options{NoJoinReorder: true})
 	if !sys.Options().NoJoinReorder {
 		t.Error("options not retained")
+	}
+}
+
+// TestHungNodeFailsBounded: a node that accepts connections but never
+// answers (dead above TCP) must not hang the middleware — with
+// RequestTimeout and CleanupTimeout set, the query fails within a bound
+// and the sweep still clears the survivors.
+func TestHungNodeFailsBounded(t *testing.T) {
+	tb, err := testbed.NewTPCH("TD1", 0.002, testbed.Config{
+		DefaultVendor: engine.VendorTest,
+		Options: core.Options{
+			RequestTimeout: 300 * time.Millisecond,
+			CleanupTimeout: 200 * time.Millisecond,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tb.Close()
+	tb.System.CacheStats = true
+	if _, err := tb.System.Query(tpch.Queries["Q3"]); err != nil {
+		t.Fatal(err) // warm calibration and the stats cache
+	}
+
+	// Replace db2 with a listener that reads forever and never replies.
+	addr := tb.Nodes["db2"].Server.Addr()
+	tb.Nodes["db2"].Server.Close()
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func(conn net.Conn) {
+				defer conn.Close()
+				io.Copy(io.Discard, conn)
+			}(conn)
+		}
+	}()
+
+	start := time.Now()
+	_, err = tb.System.Query(tpch.Queries["Q3"])
+	elapsed := time.Since(start)
+	if err == nil {
+		t.Fatal("query succeeded against a hung node")
+	}
+	if !strings.Contains(err.Error(), "db2") {
+		t.Errorf("error does not attribute the failure to db2: %v", err)
+	}
+	// The bound is a generous multiple of the per-RPC timeouts: without
+	// deadlines this test would hang forever.
+	if elapsed > 30*time.Second {
+		t.Errorf("query against hung node took %v", elapsed)
+	}
+	for name, n := range tb.Nodes {
+		if name == "db2" {
+			continue
+		}
+		for _, v := range n.Engine.Catalog().ViewNames() {
+			if strings.HasPrefix(v, "xdb") {
+				t.Errorf("node %s: leftover view %s", name, v)
+			}
+		}
+		for _, tab := range n.Engine.Catalog().TableNames() {
+			if strings.HasPrefix(tab, "xdb") {
+				t.Errorf("node %s: leftover table %s", name, tab)
+			}
+		}
+	}
+}
+
+// TestPooledDialsPerQuery: after a warm query, the middleware's control
+// traffic (probes, DDL, drops) must ride pooled connections — per-query
+// dials collapse from O(RPCs) to at most O(distinct peers).
+func TestPooledDialsPerQuery(t *testing.T) {
+	tb, err := testbed.NewTPCH("TD1", 0.002, testbed.Config{DefaultVendor: engine.VendorTest})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tb.Close()
+	tb.System.CacheStats = true
+	if _, err := tb.System.Query(tpch.Queries["Q3"]); err != nil {
+		t.Fatal(err) // warm: calibration, stats, and the connection pool
+	}
+
+	conn, _ := tb.System.Connector("db2")
+	before := conn.Transport()
+	res, err := tb.System.Query(tpch.Queries["Q3"])
+	if err != nil {
+		t.Fatal(err)
+	}
+	after := conn.Transport()
+	dials := after.Dials - before.Dials
+	reuses := after.Reuses - before.Reuses
+	rpcs := reuses + dials
+	// TD1 has 3 DBMS nodes; a warm pool may add at most a few dials when
+	// concurrent delegation briefly exceeds the parked connections.
+	if dials > 3 {
+		t.Errorf("second query dialed %d times (rpcs=%d) — pool not reused", dials, rpcs)
+	}
+	if reuses < 5 {
+		t.Errorf("second query reused only %d connections over %d RPCs", reuses, rpcs)
+	}
+	if res.Breakdown.DDLCount == 0 {
+		t.Error("no DDL deployed?")
 	}
 }

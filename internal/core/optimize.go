@@ -3,8 +3,10 @@ package core
 import (
 	"fmt"
 	"strings"
+	"time"
 
 	"xdb/internal/sqlparser"
+	"xdb/internal/wire"
 )
 
 // Logical optimization (Sec. IV-B1): selection and projection pushdown
@@ -40,6 +42,22 @@ type Options struct {
 	// tables instead of wrapping each task in a view, re-exposing the
 	// wrapper pushdown-capability variance of Sec. V (ablation A4).
 	NoVirtualRelations bool
+
+	// RequestTimeout bounds every control-plane RPC the middleware
+	// issues (metadata gathering, EXPLAIN/cost probes, DDL deployment).
+	// Zero leaves them unbounded, matching the paper configuration.
+	// Execution of the XDB query itself is data-plane and stays
+	// unbounded.
+	RequestTimeout time.Duration
+	// CleanupTimeout bounds each DROP statement while sweeping a
+	// deployment's short-lived relations, so the sweep keeps moving past
+	// a dead or hung node. Zero falls back to RequestTimeout.
+	CleanupTimeout time.Duration
+	// Wire tunes the middleware's wire transport: connection pool
+	// bounds, the default per-request deadline, and the retry policy for
+	// idempotent probe RPCs. The zero value uses the wire defaults
+	// (pooling on).
+	Wire wire.ClientConfig
 }
 
 // orderJoins builds the left-deep join tree over the scans.

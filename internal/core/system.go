@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"sync"
@@ -53,13 +54,40 @@ func NewSystem(middlewareNode, clientNode string, topo *netsim.Topology, opts Op
 		connectors: map[string]*connector.Connector{},
 		catalog:    NewCatalog(),
 		topo:       topo,
-		clientWire: wire.NewClient(clientNode, topo),
+		clientWire: wire.NewClientWith(clientNode, topo, opts.Wire),
 		opts:       opts,
 	}
 }
 
 // Options returns the system's optimizer options.
 func (s *System) Options() Options { return s.opts }
+
+// Close releases the middleware's pooled wire connections (the client's
+// execution transport). The registered connectors' clients are owned by
+// whoever created them — the testbed closes those.
+func (s *System) Close() error { return s.clientWire.Close() }
+
+// reqCtx returns the context bounding one control-plane RPC (metadata,
+// probe, or DDL round trip), honoring Options.RequestTimeout.
+func (s *System) reqCtx() (context.Context, context.CancelFunc) {
+	if s.opts.RequestTimeout > 0 {
+		return context.WithTimeout(context.Background(), s.opts.RequestTimeout)
+	}
+	return context.Background(), func() {}
+}
+
+// cleanupCtx returns the context bounding one DROP during deployment
+// cleanup: CleanupTimeout, falling back to RequestTimeout.
+func (s *System) cleanupCtx() (context.Context, context.CancelFunc) {
+	d := s.opts.CleanupTimeout
+	if d <= 0 {
+		d = s.opts.RequestTimeout
+	}
+	if d > 0 {
+		return context.WithTimeout(context.Background(), d)
+	}
+	return context.Background(), func() {}
+}
 
 // Register adds a DBMS connector.
 func (s *System) Register(c *connector.Connector) { s.connectors[c.Node] = c }
@@ -114,7 +142,9 @@ func (s *System) CostOperator(node string, kind engine.CostKind, left, right, ou
 	if !ok {
 		return 0, fmt.Errorf("core: cost probe for unknown node %q", node)
 	}
-	return c.CostOperator(kind, left, right, out)
+	ctx, cancel := s.reqCtx()
+	defer cancel()
+	return c.CostOperator(ctx, kind, left, right, out)
 }
 
 // AllNodes implements Coster.
@@ -151,7 +181,10 @@ func (s *System) calibrate() error {
 		return nil
 	}
 	for _, c := range s.connectors {
-		if err := c.Calibrate(); err != nil {
+		ctx, cancel := s.reqCtx()
+		err := c.Calibrate(ctx)
+		cancel()
+		if err != nil {
 			return err
 		}
 	}
@@ -230,7 +263,9 @@ func (s *System) gatherMetadata(sel *sqlparser.Select) error {
 		conn := s.connectors[info.Node]
 		updated := &TableInfo{Name: info.Name, Node: info.Node, Schema: info.Schema, Stats: info.Stats}
 		if updated.Schema == nil {
-			schema, err := conn.TableSchema(info.Name)
+			ctx, cancel := s.reqCtx()
+			schema, err := conn.TableSchema(ctx, info.Name)
+			cancel()
 			if err != nil {
 				return err
 			}
@@ -244,7 +279,9 @@ func (s *System) gatherMetadata(sel *sqlparser.Select) error {
 			}
 		}
 		if refreshStats {
-			st, err := conn.Stats(info.Name)
+			ctx, cancel := s.reqCtx()
+			st, err := conn.Stats(ctx, info.Name)
+			cancel()
 			if err != nil {
 				return err
 			}
@@ -293,7 +330,7 @@ func (s *System) Query(sql string) (*Result, error) {
 	// flows only between DBMSes and, for the final result, to the client.
 	start = time.Now()
 	rootConn := s.connectors[dep.Node]
-	res, execErr := s.clientWire.QueryAll(rootConn.Addr, dep.Node, dep.XDBQuery)
+	res, execErr := s.clientWire.QueryAll(context.Background(), rootConn.Addr, dep.Node, dep.XDBQuery)
 	bd.Exec = time.Since(start)
 
 	// Cleanup regardless of the execution outcome.

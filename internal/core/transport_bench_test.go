@@ -1,0 +1,53 @@
+package core_test
+
+import (
+	"testing"
+
+	"xdb/internal/core"
+	"xdb/internal/engine"
+	"xdb/internal/testbed"
+	"xdb/internal/tpch"
+	"xdb/internal/wire"
+)
+
+// benchQuery measures warm Q3 runs end to end (consult + delegate + exec +
+// cleanup) and reports the middleware's fresh dials per query.
+func benchQuery(b *testing.B, wireCfg wire.ClientConfig) {
+	tb, err := testbed.NewTPCH("TD1", 0.002, testbed.Config{
+		DefaultVendor: engine.VendorTest,
+		Options:       core.Options{Wire: wireCfg},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer tb.Close()
+	tb.System.CacheStats = true
+	if _, err := tb.System.Query(tpch.Queries["Q3"]); err != nil {
+		b.Fatal(err)
+	}
+	conn, _ := tb.System.Connector("db1")
+	start := conn.Transport()
+
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := tb.System.Query(tpch.Queries["Q3"]); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	end := conn.Transport()
+	b.ReportMetric(float64(end.Dials-start.Dials)/float64(b.N), "dials/query")
+	b.ReportMetric(float64(end.Reuses-start.Reuses)/float64(b.N), "reuses/query")
+}
+
+// BenchmarkQueryPooled: the pooled transport — per-query dials are O(1)
+// once the pool is warm.
+func BenchmarkQueryPooled(b *testing.B) {
+	benchQuery(b, wire.ClientConfig{})
+}
+
+// BenchmarkQueryPerDial: the pre-pool transport — every control-plane RPC
+// (cost probes, DDL, drops) dials its own connection.
+func BenchmarkQueryPerDial(b *testing.B) {
+	benchQuery(b, wire.ClientConfig{DisablePool: true})
+}

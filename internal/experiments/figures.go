@@ -345,23 +345,27 @@ func measureTransfer(cfg Config, td, q string, scenario netsim.Scenario, system 
 func Figure15(cfg Config, td string) (*Report, error) {
 	r := &Report{
 		Title:  fmt.Sprintf("Figure 15 (%s) — XDB query processing phase breakdown", td),
-		Header: []string{"query", "sf", "prep", "lopt", "ann", "deleg+exec", "consult rounds", "overhead share"},
+		Header: []string{"query", "sf", "prep", "lopt", "ann", "deleg+exec", "consult rounds", "overhead share", "dials", "reuses"},
 	}
 	for si, sf := range cfg.SFSeries {
 		rg, err := newRig(cfg, rigConfig{td: td, sf: sf})
 		if err != nil {
 			return nil, err
 		}
+		conn, _ := rg.tb.System.Connector(rg.tb.Order[0])
 		for _, q := range cfg.Queries {
+			before := conn.Transport()
 			_, res, err := rg.xdbRun(q)
 			if err != nil {
 				rg.Close()
 				return nil, err
 			}
+			after := conn.Transport()
 			bd := res.Breakdown
 			overhead := bd.Prep + bd.Lopt + bd.Ann
 			r.Add(q, cfg.SFLabels[si], bd.Prep, bd.Lopt, bd.Ann, bd.Deleg+bd.Exec,
-				bd.ConsultRounds, share(overhead, bd.Total()))
+				bd.ConsultRounds, share(overhead, bd.Total()),
+				after.Dials-before.Dials, after.Reuses-before.Reuses)
 		}
 		rg.Close()
 	}

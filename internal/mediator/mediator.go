@@ -10,6 +10,7 @@
 package mediator
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"sync"
@@ -78,6 +79,9 @@ func New(cfg Config) *Mediator {
 // Name returns the configured system label.
 func (m *Mediator) Name() string { return m.cfg.Name }
 
+// Close drains the mediator's wire connection pool.
+func (m *Mediator) Close() error { return m.client.Close() }
+
 // RegisterTable maps a global table to its home DBMS.
 func (m *Mediator) RegisterTable(table, node string) error {
 	if _, ok := m.cfg.Connectors[node]; !ok {
@@ -125,7 +129,7 @@ func (m *Mediator) Query(sql string) (*engine.Result, *Stats, error) {
 	if err != nil {
 		return nil, nil, err
 	}
-	if err := core.GatherMetadata(m.catalog, m.cfg.Connectors, sel); err != nil {
+	if err := core.GatherMetadata(context.Background(), m.catalog, m.cfg.Connectors, sel); err != nil {
 		return nil, nil, err
 	}
 	analysis, err := core.Analyze(m.catalog, sel)
@@ -152,7 +156,7 @@ func (m *Mediator) Query(sql string) (*engine.Result, *Stats, error) {
 		go func(i int, f *fragment) {
 			defer wg.Done()
 			conn := m.cfg.Connectors[f.node]
-			schema, it, err := m.client.QueryEnc(conn.Addr, f.node, f.sql, m.cfg.TextProtocol)
+			schema, it, err := m.client.QueryEnc(context.Background(), conn.Addr, f.node, f.sql, m.cfg.TextProtocol)
 			if err != nil {
 				errs[i] = err
 				return

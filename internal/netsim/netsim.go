@@ -252,6 +252,29 @@ func (t *Topology) Transfer(from, to string, n int) {
 	}
 }
 
+// Handshake charges the wall-clock cost of establishing a fresh
+// connection between two nodes: one extra round trip of link latency,
+// with no bytes recorded in the ledger (the TCP handshake carries no
+// payload the experiments account). Clients call it only when they
+// actually dial — reused pooled connections skip it, which is what makes
+// connection reuse visible in shaped scenarios.
+func (t *Topology) Handshake(from, to string) {
+	if from == to {
+		return
+	}
+	spec := t.Link(from, to)
+	d := 2 * spec.Latency
+	if d <= 0 {
+		return
+	}
+	if scale := t.TimeScale; scale > 1 {
+		d = time.Duration(float64(d) / scale)
+	}
+	if d > 0 {
+		time.Sleep(d)
+	}
+}
+
 // CloudBytes sums traffic with at least one endpoint in the cloud site —
 // what a managed-cloud deployment is billed for (Fig. 14's ONP scenario).
 func (t *Topology) CloudBytes() int64 {

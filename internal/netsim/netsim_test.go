@@ -186,3 +186,34 @@ func TestLedgerString(t *testing.T) {
 		t.Errorf("String = %q, want %q", got, want)
 	}
 }
+
+func TestHandshake(t *testing.T) {
+	top := NewTopology()
+	top.AddNode("a", SiteOnPrem)
+	top.AddNode("b", SiteCloud)
+	top.SetLink(SiteOnPrem, SiteCloud, LinkSpec{Latency: 30 * time.Millisecond})
+
+	start := time.Now()
+	top.Handshake("a", "b")
+	if d := time.Since(start); d < 50*time.Millisecond {
+		t.Errorf("handshake slept %v, want ~2x the 30ms link latency", d)
+	}
+	// Handshakes carry no accountable payload.
+	if top.Ledger().Total() != 0 {
+		t.Errorf("handshake recorded %d bytes", top.Ledger().Total())
+	}
+	// Same-node and zero-latency handshakes are free.
+	start = time.Now()
+	top.Handshake("a", "a")
+	Unshaped("x", "y").Handshake("x", "y")
+	if d := time.Since(start); d > 10*time.Millisecond {
+		t.Errorf("free handshakes slept %v", d)
+	}
+	// TimeScale shrinks the cost like any other shaping delay.
+	top.TimeScale = 100
+	start = time.Now()
+	top.Handshake("a", "b")
+	if d := time.Since(start); d > 20*time.Millisecond {
+		t.Errorf("scaled handshake slept %v, want ~0.6ms", d)
+	}
+}

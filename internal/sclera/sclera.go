@@ -9,6 +9,7 @@
 package sclera
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"time"
@@ -71,6 +72,9 @@ func New(cfg Config) *Sclera {
 }
 
 // RegisterTable maps a global table to its home DBMS.
+// Close drains the coordinator's wire connection pool.
+func (s *Sclera) Close() error { return s.client.Close() }
+
 func (s *Sclera) RegisterTable(table, node string) error {
 	if _, ok := s.cfg.Connectors[node]; !ok {
 		return fmt.Errorf("sclera: RegisterTable(%s): unknown node %q", table, node)
@@ -94,7 +98,7 @@ func (s *Sclera) Query(sql string) (*engine.Result, *Stats, error) {
 	if err != nil {
 		return nil, nil, err
 	}
-	if err := core.GatherMetadata(s.catalog, s.cfg.Connectors, sel); err != nil {
+	if err := core.GatherMetadata(context.Background(), s.catalog, s.cfg.Connectors, sel); err != nil {
 		return nil, nil, err
 	}
 	a, err := core.Analyze(s.catalog, sel)
@@ -114,9 +118,9 @@ func (s *Sclera) Query(sql string) (*engine.Result, *Stats, error) {
 		conn := s.cfg.Connectors[node]
 		cleanup = append(cleanup, func() {
 			if kind == "VIEW" {
-				conn.Exec(conn.Dialect.DropView(name))
+				conn.Exec(context.Background(), conn.Dialect.DropView(name))
 			} else {
-				conn.Exec(conn.Dialect.DropTable(name))
+				conn.Exec(context.Background(), conn.Dialect.DropTable(name))
 			}
 		})
 	}
@@ -241,7 +245,7 @@ func (s *Sclera) scanView(sc *core.Scan, qid int64, idx int, drop func(node, kin
 	}
 	conn := s.cfg.Connectors[sc.Node]
 	name := fmt.Sprintf("sclera%d_s%d", qid, idx)
-	if err := conn.DeployView(name, sel); err != nil {
+	if err := conn.DeployView(context.Background(), name, sel); err != nil {
 		return nil, err
 	}
 	drop(sc.Node, "VIEW", name)
@@ -262,7 +266,7 @@ func (s *Sclera) routeThroughCoordinator(from *step, toNode string, qid int64, i
 	srcConn := s.cfg.Connectors[from.node]
 	dstConn := s.cfg.Connectors[toNode]
 
-	schema, it, err := s.client.Query(srcConn.Addr, from.node, "SELECT * FROM "+from.table)
+	schema, it, err := s.client.Query(context.Background(), srcConn.Addr, from.node, "SELECT * FROM "+from.table)
 	if err != nil {
 		return nil, 0, err
 	}
@@ -276,7 +280,7 @@ func (s *Sclera) routeThroughCoordinator(from *step, toNode string, qid int64, i
 	for i, gid := range from.cols {
 		defs = append(defs, fmt.Sprintf("%s %s", core.MangleCol(gid), schema.Columns[i].Type))
 	}
-	if err := dstConn.Exec(fmt.Sprintf("CREATE TABLE %s (%s)", name, strings.Join(defs, ", "))); err != nil {
+	if err := dstConn.Exec(context.Background(), fmt.Sprintf("CREATE TABLE %s (%s)", name, strings.Join(defs, ", "))); err != nil {
 		return nil, 0, err
 	}
 	drop(toNode, "TABLE", name)
@@ -301,7 +305,7 @@ func (s *Sclera) routeThroughCoordinator(from *step, toNode string, qid int64, i
 			}
 			b.WriteByte(')')
 		}
-		if err := dstConn.Exec(b.String()); err != nil {
+		if err := dstConn.Exec(context.Background(), b.String()); err != nil {
 			return nil, 0, err
 		}
 	}
@@ -342,7 +346,7 @@ func (s *Sclera) joinStep(l, r *step, conjs []sqlparser.Expr, colTypes map[strin
 
 	conn := s.cfg.Connectors[l.node]
 	name := fmt.Sprintf("sclera%d_j%d", qid, idx)
-	if err := conn.DeployTableAs(name, sel); err != nil {
+	if err := conn.DeployTableAs(context.Background(), name, sel); err != nil {
 		return nil, err
 	}
 	drop(l.node, "TABLE", name)
@@ -413,11 +417,11 @@ func (s *Sclera) finalBlock(a *core.Analysis, cur *step, qid int64, drop func(no
 
 	conn := s.cfg.Connectors[cur.node]
 	name := fmt.Sprintf("sclera%d_final", qid)
-	if err := conn.DeployView(name, sel); err != nil {
+	if err := conn.DeployView(context.Background(), name, sel); err != nil {
 		return nil, err
 	}
 	drop(cur.node, "VIEW", name)
-	return s.client.QueryAll(conn.Addr, cur.node, "SELECT * FROM "+name)
+	return s.client.QueryAll(context.Background(), conn.Addr, cur.node, "SELECT * FROM "+name)
 }
 
 func rewriteRefs(e sqlparser.Expr, resolve map[string][2]string) (sqlparser.Expr, error) {

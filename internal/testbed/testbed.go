@@ -52,6 +52,11 @@ type Testbed struct {
 	Nodes  map[string]*Node
 	Order  []string // node names in creation order
 	System *core.System
+
+	// clients are the wire clients the testbed created (one per engine's
+	// FDW plus the middleware's), closed with the testbed so pooled
+	// connections do not leak across tests.
+	clients []*wire.Client
 }
 
 // New starts engines and wire servers for the named nodes and wires up the
@@ -80,7 +85,9 @@ func New(nodeNames []string, cfg Config) (*Testbed, error) {
 			vendor = v
 		}
 		eng := engine.New(engine.Config{Name: name, Vendor: vendor})
-		eng.SetRemote(&wire.FDW{Client: wire.NewClient(name, topo)})
+		fdwClient := wire.NewClientWith(name, topo, cfg.Options.Wire)
+		tb.clients = append(tb.clients, fdwClient)
+		eng.SetRemote(&wire.FDW{Client: fdwClient})
 		srv, err := wire.NewServer(eng)
 		if err != nil {
 			tb.Close()
@@ -90,7 +97,8 @@ func New(nodeNames []string, cfg Config) (*Testbed, error) {
 	}
 
 	sys := core.NewSystem(MiddlewareNode, ClientNode, topo, cfg.Options)
-	mwClient := wire.NewClient(MiddlewareNode, topo)
+	mwClient := wire.NewClientWith(MiddlewareNode, topo, cfg.Options.Wire)
+	tb.clients = append(tb.clients, mwClient)
 	for _, name := range nodeNames {
 		n := tb.Nodes[name]
 		sys.Register(connector.New(name, n.Server.Addr(), n.Engine.Profile().Vendor, mwClient))
@@ -99,12 +107,19 @@ func New(nodeNames []string, cfg Config) (*Testbed, error) {
 	return tb, nil
 }
 
-// Close shuts down all wire servers.
+// Close shuts down all wire servers and drains every client's
+// connection pool.
 func (tb *Testbed) Close() {
 	for _, n := range tb.Nodes {
 		if n.Server != nil {
 			n.Server.Close()
 		}
+	}
+	for _, c := range tb.clients {
+		c.Close()
+	}
+	if tb.System != nil {
+		tb.System.Close()
 	}
 }
 

@@ -1,9 +1,12 @@
 package wire
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"net"
+	"sync"
+	"sync/atomic"
 
 	"xdb/internal/engine"
 	"xdb/internal/netsim"
@@ -13,8 +16,15 @@ import (
 // Client issues wire-protocol requests on behalf of a node. Every frame
 // sent or received is charged to the netsim topology: request bytes on the
 // from->to edge, response bytes on the to->from edge, both shaped by the
-// link between the two nodes. One Client is safe for concurrent use; each
-// request dials its own connection.
+// link between the two nodes; reused and fresh connections are charged
+// identically, but only fresh dials pay the link's handshake round trip.
+//
+// Connections are pooled per target address (bounded, with idle reaping
+// and broken-connection eviction), so a client amortizes its dials across
+// the chatty consult/delegate RPC cascade. Requests carry deadlines (from
+// the context or the configured RequestTimeout), and idempotent probe RPCs
+// are retried with exponential backoff; DDL/DML never is. One Client is
+// safe for concurrent use.
 type Client struct {
 	// FromNode is the node the caller runs on (a DBMS node for FDW
 	// traffic, the middleware node for XDB/mediator control traffic).
@@ -22,11 +32,31 @@ type Client struct {
 	// Topo provides link shaping and the transfer ledger; nil disables
 	// both (unit tests).
 	Topo *netsim.Topology
+
+	cfg ClientConfig
+
+	mu     sync.Mutex
+	idle   map[string][]idleConn
+	closed bool
+
+	dials, reuses, retries, timeouts, evictions, closes atomic.Int64
 }
 
-// NewClient returns a client for the given source node.
+// NewClient returns a client for the given source node with the default
+// transport configuration.
 func NewClient(fromNode string, topo *netsim.Topology) *Client {
-	return &Client{FromNode: fromNode, Topo: topo}
+	return NewClientWith(fromNode, topo, ClientConfig{})
+}
+
+// NewClientWith returns a client with an explicit transport configuration
+// (pool bounds, deadlines, retry policy).
+func NewClientWith(fromNode string, topo *netsim.Topology, cfg ClientConfig) *Client {
+	return &Client{
+		FromNode: fromNode,
+		Topo:     topo,
+		cfg:      cfg.withDefaults(),
+		idle:     map[string][]idleConn{},
+	}
 }
 
 func (c *Client) account(to string, n int, inbound bool) {
@@ -40,40 +70,127 @@ func (c *Client) account(to string, n int, inbound bool) {
 	}
 }
 
-func (c *Client) dial(addr string) (net.Conn, error) {
-	conn, err := net.Dial("tcp", addr)
-	if err != nil {
-		return nil, fmt.Errorf("wire: dial %s: %w", addr, err)
-	}
-	return conn, nil
+// deadlineErr attributes a deadline expiry to the target node.
+func deadlineErr(toNode string, err error) error {
+	return fmt.Errorf("wire: request to %s: deadline exceeded: %w", toNode, err)
 }
 
-// roundTrip sends one request and reads one response frame.
-func (c *Client) roundTrip(addr, toNode string, reqType byte, payload []byte) (byte, []byte, error) {
-	conn, err := c.dial(addr)
+// sendRequest checks a connection out of the pool, writes one request,
+// and reads the first response frame, retrying per the policy: a reused
+// connection that proves stale on write is redialed once for any RPC (the
+// request never reached the server), and idempotent RPCs additionally
+// retry transport failures with exponential backoff up to MaxRetries.
+// Timeouts are never retried — the deadline has passed either way. On
+// success the connection is still checked out; the caller must release it
+// with putConn or discard.
+func (c *Client) sendRequest(ctx context.Context, addr, toNode string, reqType byte, payload []byte, idempotent bool) (net.Conn, byte, []byte, error) {
+	var lastErr error
+	attempt := 0
+	staleRedial := false
+	for {
+		if err := ctx.Err(); err != nil {
+			if lastErr != nil {
+				return nil, 0, nil, lastErr
+			}
+			return nil, 0, nil, fmt.Errorf("wire: request to %s: %w", toNode, err)
+		}
+		conn, reused, err := c.getConn(ctx, addr, toNode)
+		if err != nil {
+			lastErr = err
+			if !idempotent || attempt >= c.cfg.MaxRetries {
+				return nil, 0, nil, lastErr
+			}
+			attempt++
+			c.retries.Add(1)
+			if c.backoff(ctx, attempt) != nil {
+				return nil, 0, nil, lastErr
+			}
+			continue
+		}
+		c.applyDeadline(ctx, conn)
+
+		n, err := writeFrame(conn, reqType, payload)
+		if err != nil {
+			c.discard(conn)
+			if isTimeout(err) {
+				c.timeouts.Add(1)
+				return nil, 0, nil, deadlineErr(toNode, err)
+			}
+			lastErr = fmt.Errorf("wire: send to %s: %w", toNode, err)
+			// A reused connection failing on write was closed by the peer
+			// while parked; the request was never delivered, so redial
+			// once regardless of idempotence.
+			if reused && !staleRedial {
+				staleRedial = true
+				c.retries.Add(1)
+				continue
+			}
+			if idempotent && attempt < c.cfg.MaxRetries {
+				attempt++
+				c.retries.Add(1)
+				if c.backoff(ctx, attempt) != nil {
+					return nil, 0, nil, lastErr
+				}
+				continue
+			}
+			return nil, 0, nil, lastErr
+		}
+		c.account(toNode, n, false)
+
+		typ, resp, n, err := readFrame(conn)
+		if err != nil {
+			c.discard(conn)
+			if isTimeout(err) {
+				c.timeouts.Add(1)
+				return nil, 0, nil, deadlineErr(toNode, err)
+			}
+			lastErr = fmt.Errorf("wire: response from %s: %w", toNode, err)
+			// Once the request was written, only idempotent RPCs may
+			// retry: an Exec might already have executed server-side.
+			if idempotent {
+				if reused && !staleRedial {
+					staleRedial = true
+					c.retries.Add(1)
+					continue
+				}
+				if attempt < c.cfg.MaxRetries {
+					attempt++
+					c.retries.Add(1)
+					if c.backoff(ctx, attempt) != nil {
+						return nil, 0, nil, lastErr
+					}
+					continue
+				}
+			}
+			return nil, 0, nil, lastErr
+		}
+		c.account(toNode, n, true)
+		return conn, typ, resp, nil
+	}
+}
+
+// roundTrip sends one request and reads one response frame, releasing the
+// connection back to the pool. The connection is positioned at the next
+// request even when the server answered with an error frame, so it is
+// pooled either way.
+func (c *Client) roundTrip(ctx context.Context, addr, toNode string, reqType byte, payload []byte, idempotent bool) (byte, []byte, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	conn, typ, resp, err := c.sendRequest(ctx, addr, toNode, reqType, payload, idempotent)
 	if err != nil {
 		return 0, nil, err
 	}
-	defer conn.Close()
-	n, err := writeFrame(conn, reqType, payload)
-	if err != nil {
-		return 0, nil, err
-	}
-	c.account(toNode, n, false)
-	typ, resp, n, err := readFrame(conn)
-	if err != nil {
-		return 0, nil, err
-	}
-	c.account(toNode, n, true)
+	c.putConn(addr, conn)
 	if typ == msgError {
 		return typ, nil, fmt.Errorf("remote %s: %s", toNode, resp)
 	}
 	return typ, resp, nil
 }
 
-// Exec runs a DDL/DML statement remotely.
-func (c *Client) Exec(addr, toNode, sql string) error {
-	typ, _, err := c.roundTrip(addr, toNode, msgExec, []byte(sql))
+// Exec runs a DDL/DML statement remotely. It is never retried.
+func (c *Client) Exec(ctx context.Context, addr, toNode, sql string) error {
+	typ, _, err := c.roundTrip(ctx, addr, toNode, msgExec, []byte(sql), false)
 	if err != nil {
 		return err
 	}
@@ -84,8 +201,8 @@ func (c *Client) Exec(addr, toNode, sql string) error {
 }
 
 // Explain fetches the remote engine's cost/row estimates for a query.
-func (c *Client) Explain(addr, toNode, sql string) (*engine.ExplainInfo, error) {
-	typ, resp, err := c.roundTrip(addr, toNode, msgExplain, []byte(sql))
+func (c *Client) Explain(ctx context.Context, addr, toNode, sql string) (*engine.ExplainInfo, error) {
+	typ, resp, err := c.roundTrip(ctx, addr, toNode, msgExplain, []byte(sql), true)
 	if err != nil {
 		return nil, err
 	}
@@ -96,8 +213,8 @@ func (c *Client) Explain(addr, toNode, sql string) (*engine.ExplainInfo, error) 
 }
 
 // Stats fetches table statistics from a remote engine.
-func (c *Client) Stats(addr, toNode, table string) (*engine.TableStats, error) {
-	typ, resp, err := c.roundTrip(addr, toNode, msgStats, []byte(table))
+func (c *Client) Stats(ctx context.Context, addr, toNode, table string) (*engine.TableStats, error) {
+	typ, resp, err := c.roundTrip(ctx, addr, toNode, msgStats, []byte(table), true)
 	if err != nil {
 		return nil, err
 	}
@@ -108,8 +225,8 @@ func (c *Client) Stats(addr, toNode, table string) (*engine.TableStats, error) {
 }
 
 // TableSchema fetches the column schema of a remote relation.
-func (c *Client) TableSchema(addr, toNode, table string) (*sqltypes.Schema, error) {
-	typ, resp, err := c.roundTrip(addr, toNode, msgTblSch, []byte(table))
+func (c *Client) TableSchema(ctx context.Context, addr, toNode, table string) (*sqltypes.Schema, error) {
+	typ, resp, err := c.roundTrip(ctx, addr, toNode, msgTblSch, []byte(table), true)
 	if err != nil {
 		return nil, err
 	}
@@ -123,8 +240,8 @@ func (c *Client) TableSchema(addr, toNode, table string) (*sqltypes.Schema, erro
 // Cost asks the remote engine to price an operator over hypothetical
 // cardinalities, in the remote's own cost units (the consulting probe of
 // Sec. IV-B2).
-func (c *Client) Cost(addr, toNode string, kind engine.CostKind, left, right, out float64) (float64, error) {
-	typ, resp, err := c.roundTrip(addr, toNode, msgCost, encodeCostProbe(kind, left, right, out))
+func (c *Client) Cost(ctx context.Context, addr, toNode string, kind engine.CostKind, left, right, out float64) (float64, error) {
+	typ, resp, err := c.roundTrip(ctx, addr, toNode, msgCost, encodeCostProbe(kind, left, right, out), true)
 	if err != nil {
 		return 0, err
 	}
@@ -137,19 +254,21 @@ func (c *Client) Cost(addr, toNode string, kind engine.CostKind, left, right, ou
 }
 
 // Query runs a SELECT remotely and returns the result schema plus a
-// streaming iterator over the response frames. Closing the iterator closes
-// the connection (aborting the remote stream if unfinished).
-func (c *Client) Query(addr, toNode, sql string) (*sqltypes.Schema, engine.RowIter, error) {
-	return c.QueryEnc(addr, toNode, sql, false)
+// streaming iterator over the response frames. The iterator releases its
+// connection back to the pool when the stream completes cleanly (msgEnd or
+// an in-protocol error frame) and closes it on any mid-stream transport or
+// decode failure; Close is idempotent and safe to skip after a terminal
+// Next error.
+func (c *Client) Query(ctx context.Context, addr, toNode, sql string) (*sqltypes.Schema, engine.RowIter, error) {
+	return c.QueryEnc(ctx, addr, toNode, sql, false)
 }
 
 // QueryEnc is Query with an explicit result-encoding request: forceText
 // asks the server for the JDBC-style text encoding regardless of its
 // vendor protocol (used by the presto baseline's connectors).
-func (c *Client) QueryEnc(addr, toNode, sql string, forceText bool) (*sqltypes.Schema, engine.RowIter, error) {
-	conn, err := c.dial(addr)
-	if err != nil {
-		return nil, nil, err
+func (c *Client) QueryEnc(ctx context.Context, addr, toNode, sql string, forceText bool) (*sqltypes.Schema, engine.RowIter, error) {
+	if ctx == nil {
+		ctx = context.Background()
 	}
 	payload := make([]byte, 0, len(sql)+1)
 	if forceText {
@@ -158,39 +277,34 @@ func (c *Client) QueryEnc(addr, toNode, sql string, forceText bool) (*sqltypes.S
 		payload = append(payload, 0)
 	}
 	payload = append(payload, sql...)
-	n, err := writeFrame(conn, msgQuery, payload)
+	// The initial exchange (request out, schema frame back) consumes no
+	// stream state, so it retries like an idempotent read. Once the
+	// schema arrives the connection hosts the stream and retries stop.
+	conn, typ, resp, err := c.sendRequest(ctx, addr, toNode, msgQuery, payload, true)
 	if err != nil {
-		conn.Close()
 		return nil, nil, err
 	}
-	c.account(toNode, n, false)
-
-	typ, payload, n, err := readFrame(conn)
-	if err != nil {
-		conn.Close()
-		return nil, nil, err
-	}
-	c.account(toNode, n, true)
 	switch typ {
 	case msgError:
-		conn.Close()
-		return nil, nil, fmt.Errorf("remote %s: %s", toNode, payload)
+		// In-protocol error: the connection is clean and reusable.
+		c.putConn(addr, conn)
+		return nil, nil, fmt.Errorf("remote %s: %s", toNode, resp)
 	case msgSchema:
 	default:
-		conn.Close()
+		c.discard(conn)
 		return nil, nil, fmt.Errorf("wire: unexpected response type %d to Query", typ)
 	}
-	schema, _, err := sqltypes.DecodeSchema(payload)
+	schema, _, err := sqltypes.DecodeSchema(resp)
 	if err != nil {
-		conn.Close()
+		c.discard(conn)
 		return nil, nil, err
 	}
-	return schema, &queryIter{c: c, conn: conn, toNode: toNode}, nil
+	return schema, &queryIter{c: c, conn: conn, addr: addr, toNode: toNode}, nil
 }
 
 // QueryAll runs a SELECT remotely and materializes the result.
-func (c *Client) QueryAll(addr, toNode, sql string) (*engine.Result, error) {
-	schema, it, err := c.Query(addr, toNode, sql)
+func (c *Client) QueryAll(ctx context.Context, addr, toNode, sql string) (*engine.Result, error) {
+	schema, it, err := c.Query(ctx, addr, toNode, sql)
 	if err != nil {
 		return nil, err
 	}
@@ -201,14 +315,18 @@ func (c *Client) QueryAll(addr, toNode, sql string) (*engine.Result, error) {
 	return &engine.Result{Schema: schema, Rows: rows}, nil
 }
 
-// queryIter streams rows from the response frames of one Query.
+// queryIter streams rows from the response frames of one Query. It owns
+// its connection: a clean end of stream parks the connection back in the
+// pool, any mid-stream failure evicts it.
 type queryIter struct {
 	c      *Client
 	conn   net.Conn
+	addr   string
 	toNode string
 	batch  []sqltypes.Row
 	pos    int
-	done   bool
+	done   bool // msgEnd received; the connection is clean
+	closed bool // connection already released or discarded
 }
 
 func (q *queryIter) Next() (sqltypes.Row, error) {
@@ -221,8 +339,16 @@ func (q *queryIter) Next() (sqltypes.Row, error) {
 		if q.done {
 			return nil, io.EOF
 		}
+		if q.closed {
+			return nil, fmt.Errorf("wire: Next on closed result stream from %s", q.toNode)
+		}
 		typ, payload, n, err := readFrame(q.conn)
 		if err != nil {
+			q.finish(false)
+			if isTimeout(err) {
+				q.c.timeouts.Add(1)
+				return nil, deadlineErr(q.toNode, err)
+			}
 			return nil, fmt.Errorf("wire: result stream from %s: %w", q.toNode, err)
 		}
 		q.c.account(q.toNode, n, true)
@@ -230,34 +356,61 @@ func (q *queryIter) Next() (sqltypes.Row, error) {
 		case msgRows, msgRowsText:
 			q.batch, err = decodeRowBatch(payload, typ)
 			if err != nil {
+				q.finish(false)
 				return nil, err
 			}
 			q.pos = 0
 		case msgEnd:
 			q.done = true
 		case msgError:
+			// The server wrote the error frame and went back to waiting
+			// for the next request, so the connection itself is clean.
+			q.finish(true)
 			return nil, fmt.Errorf("remote %s: %s", q.toNode, payload)
 		default:
+			q.finish(false)
 			return nil, fmt.Errorf("wire: unexpected frame type %d in result stream", typ)
 		}
 	}
 }
 
-func (q *queryIter) Close() error { return q.conn.Close() }
+// finish releases the iterator's connection exactly once: back to the pool
+// when the protocol is in a clean state, closed otherwise.
+func (q *queryIter) finish(clean bool) {
+	if q.closed {
+		return
+	}
+	q.closed = true
+	if clean {
+		q.c.putConn(q.addr, q.conn)
+	} else {
+		q.c.discard(q.conn)
+	}
+}
+
+// Close releases the connection. Closing a fully-drained stream returns
+// the connection to the pool; closing mid-stream aborts the remote stream
+// by discarding the connection. Close is idempotent.
+func (q *queryIter) Close() error {
+	q.finish(q.done)
+	return nil
+}
 
 // FDW adapts a Client to the engine's RemoteQuerier interface — it is the
 // foreign data wrapper of the SQL/MED standard: the component through which
-// one DBMS reads relations that live on another.
+// one DBMS reads relations that live on another. Engine-initiated traffic
+// carries no caller context; deadlines come from the client's configured
+// RequestTimeout.
 type FDW struct {
 	Client *Client
 }
 
 // QueryRemote implements engine.RemoteQuerier.
 func (f *FDW) QueryRemote(srv *engine.Server, sql string) (*sqltypes.Schema, engine.RowIter, error) {
-	return f.Client.Query(srv.Addr, srv.Node, sql)
+	return f.Client.Query(context.Background(), srv.Addr, srv.Node, sql)
 }
 
 // StatsRemote implements engine.RemoteQuerier.
 func (f *FDW) StatsRemote(srv *engine.Server, table string) (*engine.TableStats, error) {
-	return f.Client.Stats(srv.Addr, srv.Node, table)
+	return f.Client.Stats(context.Background(), srv.Addr, srv.Node, table)
 }

@@ -30,9 +30,16 @@ type Server struct {
 // NewServer starts serving the engine on a fresh loopback listener and
 // returns the server. Use Addr for the dialable address.
 func NewServer(eng *engine.Engine) (*Server, error) {
-	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	return NewServerOn(eng, "127.0.0.1:0")
+}
+
+// NewServerOn serves the engine on a specific listen address — used to
+// restart a server on the port a closed one released, so clients holding
+// pooled connections to the old process exercise their eviction path.
+func NewServerOn(eng *engine.Engine, addr string) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
 	if err != nil {
-		return nil, fmt.Errorf("wire: listen: %w", err)
+		return nil, fmt.Errorf("wire: listen %s: %w", addr, err)
 	}
 	s := &Server{eng: eng, ln: ln, conns: make(map[net.Conn]struct{})}
 	s.wg.Add(1)

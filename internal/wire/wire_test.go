@@ -1,6 +1,7 @@
 package wire
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"testing"
@@ -40,7 +41,7 @@ func TestQueryRoundTrip(t *testing.T) {
 	e, s := newServedEngine(t, "db1", engine.VendorTest)
 	loadNumbers(t, e, "t", 5000)
 	c := NewClient("client", netsim.Unshaped("client", "db1"))
-	res, err := c.QueryAll(s.Addr(), "db1", "SELECT id FROM t WHERE id < 2500")
+	res, err := c.QueryAll(context.Background(), s.Addr(), "db1", "SELECT id FROM t WHERE id < 2500")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -58,7 +59,7 @@ func TestQueryStreamingBatches(t *testing.T) {
 	e, s := newServedEngine(t, "db1", engine.VendorTest)
 	loadNumbers(t, e, "t", 50000)
 	c := NewClient("client", nil)
-	schema, it, err := c.Query(s.Addr(), "db1", "SELECT * FROM t")
+	schema, it, err := c.Query(context.Background(), s.Addr(), "db1", "SELECT * FROM t")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -77,13 +78,13 @@ func TestQueryStreamingBatches(t *testing.T) {
 func TestExecAndErrors(t *testing.T) {
 	_, s := newServedEngine(t, "db1", engine.VendorTest)
 	c := NewClient("client", nil)
-	if err := c.Exec(s.Addr(), "db1", "CREATE TABLE x (a BIGINT)"); err != nil {
+	if err := c.Exec(context.Background(), s.Addr(), "db1", "CREATE TABLE x (a BIGINT)"); err != nil {
 		t.Fatal(err)
 	}
-	if err := c.Exec(s.Addr(), "db1", "INSERT INTO x VALUES (1), (2)"); err != nil {
+	if err := c.Exec(context.Background(), s.Addr(), "db1", "INSERT INTO x VALUES (1), (2)"); err != nil {
 		t.Fatal(err)
 	}
-	res, err := c.QueryAll(s.Addr(), "db1", "SELECT COUNT(*) FROM x")
+	res, err := c.QueryAll(context.Background(), s.Addr(), "db1", "SELECT COUNT(*) FROM x")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -91,14 +92,14 @@ func TestExecAndErrors(t *testing.T) {
 		t.Fatalf("%v", res.Rows)
 	}
 	// Remote errors surface with the node name.
-	if err := c.Exec(s.Addr(), "db1", "DROP TABLE nosuch"); err == nil || !strings.Contains(err.Error(), "db1") {
+	if err := c.Exec(context.Background(), s.Addr(), "db1", "DROP TABLE nosuch"); err == nil || !strings.Contains(err.Error(), "db1") {
 		t.Errorf("err = %v", err)
 	}
-	if _, err := c.QueryAll(s.Addr(), "db1", "SELECT * FROM nosuch"); err == nil {
+	if _, err := c.QueryAll(context.Background(), s.Addr(), "db1", "SELECT * FROM nosuch"); err == nil {
 		t.Error("query of missing table succeeded remotely")
 	}
 	// Parse errors too.
-	if _, err := c.QueryAll(s.Addr(), "db1", "SELEC 1"); err == nil {
+	if _, err := c.QueryAll(context.Background(), s.Addr(), "db1", "SELEC 1"); err == nil {
 		t.Error("bad SQL succeeded remotely")
 	}
 }
@@ -107,14 +108,14 @@ func TestExplainAndStatsRPC(t *testing.T) {
 	e, s := newServedEngine(t, "db1", engine.VendorPostgres)
 	loadNumbers(t, e, "t", 1000)
 	c := NewClient("client", nil)
-	info, err := c.Explain(s.Addr(), "db1", "SELECT * FROM t WHERE id > 10")
+	info, err := c.Explain(context.Background(), s.Addr(), "db1", "SELECT * FROM t WHERE id > 10")
 	if err != nil {
 		t.Fatal(err)
 	}
 	if info.Cost <= 0 || info.Rows <= 0 || info.Text == "" {
 		t.Fatalf("%+v", info)
 	}
-	st, err := c.Stats(s.Addr(), "db1", "t")
+	st, err := c.Stats(context.Background(), s.Addr(), "db1", "t")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -132,7 +133,7 @@ func TestExplainAndStatsRPC(t *testing.T) {
 func TestCostRPC(t *testing.T) {
 	_, s := newServedEngine(t, "db1", engine.VendorMariaDB)
 	c := NewClient("client", nil)
-	cost, err := c.Cost(s.Addr(), "db1", engine.CostJoin, 1000, 500, 800)
+	cost, err := c.Cost(context.Background(), s.Addr(), "db1", engine.CostJoin, 1000, 500, 800)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -146,7 +147,7 @@ func TestTransferAccounting(t *testing.T) {
 	loadNumbers(t, e, "t", 10000)
 	topo := netsim.Unshaped("client", "db1")
 	c := NewClient("client", topo)
-	if _, err := c.QueryAll(s.Addr(), "db1", "SELECT * FROM t"); err != nil {
+	if _, err := c.QueryAll(context.Background(), s.Addr(), "db1", "SELECT * FROM t"); err != nil {
 		t.Fatal(err)
 	}
 	sent := topo.Ledger().Between("client", "db1")
@@ -179,7 +180,7 @@ func TestTextEncodingCostsMoreBytes(t *testing.T) {
 		}
 		topo := netsim.Unshaped("client", "dbx")
 		c := NewClient("client", topo)
-		res, err := c.QueryAll(s.Addr(), "dbx", "SELECT * FROM t")
+		res, err := c.QueryAll(context.Background(), s.Addr(), "dbx", "SELECT * FROM t")
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -225,7 +226,7 @@ func TestFDWCascade(t *testing.T) {
 	mustExec(t, e3, "CREATE FOREIGN TABLE f2 (id BIGINT) SERVER db2 OPTIONS (table_name 'v2')")
 
 	c := NewClient("client", topo)
-	res, err := c.QueryAll(s3.Addr(), "db3", "SELECT COUNT(*) FROM f2")
+	res, err := c.QueryAll(context.Background(), s3.Addr(), "db3", "SELECT COUNT(*) FROM f2")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -273,7 +274,7 @@ func TestExplicitMaterializationViaCTAS(t *testing.T) {
 	// After materialization, querying m moves nothing from db1.
 	before := topo.Ledger().Between("db1", "db2")
 	c := NewClient("client", topo)
-	res, err := c.QueryAll(s2.Addr(), "db2", "SELECT COUNT(*) FROM m")
+	res, err := c.QueryAll(context.Background(), s2.Addr(), "db2", "SELECT COUNT(*) FROM m")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -289,11 +290,11 @@ func TestServerCloseUnblocksClients(t *testing.T) {
 	e, s := newServedEngine(t, "db1", engine.VendorTest)
 	loadNumbers(t, e, "t", 10)
 	c := NewClient("client", nil)
-	if _, err := c.QueryAll(s.Addr(), "db1", "SELECT * FROM t"); err != nil {
+	if _, err := c.QueryAll(context.Background(), s.Addr(), "db1", "SELECT * FROM t"); err != nil {
 		t.Fatal(err)
 	}
 	s.Close()
-	if _, err := c.QueryAll(s.Addr(), "db1", "SELECT * FROM t"); err == nil {
+	if _, err := c.QueryAll(context.Background(), s.Addr(), "db1", "SELECT * FROM t"); err == nil {
 		t.Error("query succeeded after server close")
 	}
 	// Double close is fine.
@@ -309,7 +310,7 @@ func TestConcurrentClients(t *testing.T) {
 	for i := 0; i < 8; i++ {
 		go func(i int) {
 			c := NewClient(fmt.Sprintf("client%d", i), nil)
-			res, err := c.QueryAll(s.Addr(), "db1", "SELECT COUNT(*) FROM t")
+			res, err := c.QueryAll(context.Background(), s.Addr(), "db1", "SELECT COUNT(*) FROM t")
 			if err == nil && res.Rows[0][0].Int() != 2000 {
 				err = fmt.Errorf("count = %v", res.Rows[0][0])
 			}

@@ -73,6 +73,12 @@ type (
 	Value = sqltypes.Value
 	// Topology is the simulated network.
 	Topology = netsim.Topology
+	// WireConfig tunes the middleware's wire transport: connection pool
+	// bounds, request deadlines, and the retry policy (Options.Wire).
+	WireConfig = wire.ClientConfig
+	// TransportStats is a snapshot of a wire client's connection-level
+	// counters (dials, reuses, retries, timeouts).
+	TransportStats = wire.TransportStats
 )
 
 // Movement kinds.
