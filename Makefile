@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet bench bench-transport check
+.PHONY: build test race vet bench bench-transport chaos check
 
 build:
 	$(GO) build ./...
@@ -17,6 +17,12 @@ vet:
 race:
 	$(GO) vet ./...
 	$(GO) test -race ./internal/wire/... ./internal/core/...
+
+# Chaos drill: kill / partition / flaky-link scenarios against a live
+# cluster, under the race detector. The flaky-link test pins the fault
+# seed (netsim.SetFaultSeed), so drops are reproducible across runs.
+chaos:
+	$(GO) test -race -count=1 -v -run 'TestChaos' ./internal/core/
 
 # Full experiment regeneration (slow; see EXPERIMENTS.md).
 bench:

@@ -1,0 +1,138 @@
+// Fault injection: crash a DBMS node under a running cluster and watch the
+// middleware degrade and recover.
+//
+// The walkthrough below crashes orders' home (db3 is a bystander), shows
+// the query failing with the fault attributed, trips db2's circuit breaker
+// so further RPCs fail fast, revives the node, and lets the janitor sweep
+// the orphaned short-lived relations. It then partitions the bystander
+// away from the middleware and shows planning degrade gracefully: the
+// query still runs, with the decisions made without consulting a DBMS
+// counted in Breakdown.DegradedProbes.
+//
+// Run with: go run ./examples/faultinjection
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"xdb"
+)
+
+func main() {
+	cluster, err := xdb.NewCluster([]string{"db1", "db2", "db3"}, xdb.ClusterConfig{
+		Scenario:      "geo", // every DBMS on its own site: partitions can isolate one node
+		DefaultVendor: xdb.VendorTest,
+		TimeScale:     1000,
+		Options: xdb.Options{
+			RequestTimeout:   2 * time.Second,
+			CleanupTimeout:   time.Second,
+			BreakerThreshold: 3,
+			BreakerBackoff:   200 * time.Millisecond,
+			FullCandidateSet: true, // consider db3 as a placement candidate
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cluster.Close()
+
+	users := xdb.NewSchema(
+		xdb.Column{Name: "id", Type: xdb.TypeInt},
+		xdb.Column{Name: "name", Type: xdb.TypeString},
+	)
+	var userRows []xdb.Row
+	for i := 0; i < 50; i++ {
+		userRows = append(userRows, xdb.Row{xdb.NewInt(int64(i)), xdb.NewString(fmt.Sprintf("user-%d", i))})
+	}
+	if err := cluster.Load("db1", "users", users, userRows); err != nil {
+		log.Fatal(err)
+	}
+	orders := xdb.NewSchema(
+		xdb.Column{Name: "id", Type: xdb.TypeInt},
+		xdb.Column{Name: "user_id", Type: xdb.TypeInt},
+	)
+	var orderRows []xdb.Row
+	for i := 0; i < 200; i++ {
+		orderRows = append(orderRows, xdb.Row{xdb.NewInt(int64(i)), xdb.NewInt(int64(i % 50))})
+	}
+	if err := cluster.Load("db2", "orders", orders, orderRows); err != nil {
+		log.Fatal(err)
+	}
+
+	const query = "SELECT u.name, COUNT(*) AS n FROM users u, orders o WHERE u.id = o.user_id GROUP BY u.name"
+
+	// Cache table statistics so a node failure strikes during delegation
+	// (DDL deployment) rather than metadata gathering — the interesting
+	// case for the orphan janitor.
+	cluster.System().CacheStats = true
+
+	res, err := cluster.Query(query)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("healthy cluster: %d rows, %d consult rounds, %d degraded probes\n\n",
+		len(res.Rows), res.Breakdown.ConsultRounds, res.Breakdown.DegradedProbes)
+
+	// --- Crash orders' home. The query must fail, attributed to db2.
+	fmt.Println("CrashNode(db2)")
+	cluster.CrashNode("db2")
+	if _, err := cluster.Query(query); err != nil {
+		fmt.Printf("  query failed (expected): %v\n", err)
+	}
+	// A couple more attempts trip the breaker: RPCs now fail fast.
+	cluster.Query(query)
+	cluster.Query(query)
+	h := cluster.NodeHealth()["db2"]
+	fmt.Printf("  db2 breaker: %s after %d consecutive failures\n\n", h.State, h.ConsecutiveFailures)
+
+	// --- Revive and recover. The breaker half-opens after its backoff; the
+	// first success closes it again.
+	fmt.Println("ReviveNode(db2)")
+	cluster.ReviveNode("db2")
+	time.Sleep(300 * time.Millisecond) // let the breaker backoff expire
+	res, err = cluster.Query(query)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  query ok again: %d rows, db2 breaker: %s\n\n",
+		len(res.Rows), cluster.NodeHealth()["db2"].State)
+
+	// --- Flaky link. Frames to db2 drop with 30% probability (seeded, so
+	// reproducible): sooner or later a DDL or its response is lost
+	// mid-deployment and the affected short-lived relation is parked in the
+	// orphan registry. Healing the link lets the janitor collect them.
+	fmt.Println("SetFlake(middleware <-> db2, 30% drop)")
+	cluster.SetFaultSeed(7)
+	cluster.SetFlake(cluster.SiteOf("xdb"), cluster.SiteOf("db2"), xdb.Flake{DropRate: 0.3})
+	for i := 0; i < 20 && len(cluster.Orphans()) == 0; i++ {
+		cluster.Query(query)               // failures expected
+		time.Sleep(250 * time.Millisecond) // let the breaker half-open
+	}
+	fmt.Printf("  orphaned short-lived relations parked: %d\n", len(cluster.Orphans()))
+	cluster.SetFlake(cluster.SiteOf("xdb"), cluster.SiteOf("db2"), xdb.Flake{}) // heal the link
+	time.Sleep(300 * time.Millisecond)
+	dropped, remaining, _ := cluster.SweepOrphans()
+	fmt.Printf("  link healed: janitor dropped %d orphans (%d remaining)\n\n", dropped, remaining)
+
+	// --- Partition the bystander. db3 holds no data but is a placement
+	// candidate under FullCandidateSet; once its breaker opens, planning
+	// excludes it and the query succeeds with degraded probes counted.
+	fmt.Println("PartitionSites(db3 <-> middleware)")
+	cluster.PartitionSites(cluster.SiteOf("db3"), cluster.SiteOf("xdb"))
+	var last *xdb.Result
+	for i := 0; i < 4; i++ { // first attempts trip db3's breaker
+		if r, err := cluster.Query(query); err == nil {
+			last = r
+		}
+	}
+	if last == nil {
+		log.Fatal("no query survived the partition")
+	}
+	fmt.Printf("  query ok around the partition: %d rows, degraded probes: %d, db3 breaker: %s\n",
+		len(last.Rows), last.Breakdown.DegradedProbes, cluster.NodeHealth()["db3"].State)
+
+	cluster.Heal()
+	fmt.Println("Heal() — cluster whole again")
+}

@@ -37,6 +37,11 @@ type Coster interface {
 	// LinkFactor scales movement cost between two nodes relative to the
 	// baseline LAN link (>= 1 for slower links).
 	LinkFactor(from, to string) float64
+	// Healthy reports whether the node can currently be consulted and
+	// considered as a placement candidate (false while its circuit
+	// breaker is open). The annotator never probes an unhealthy node;
+	// it prices it with the local cost model or excludes it outright.
+	Healthy(node string) bool
 }
 
 // Movement cost constants (calibrated common units per row/byte on the
@@ -56,6 +61,10 @@ type Annotation struct {
 	// ConsultRounds counts the cost probes issued (Fig. 15's
 	// "consultation roundtrips").
 	ConsultRounds int
+	// DegradedProbes counts the decisions made without consulting a
+	// DBMS: placement candidates excluded because their breaker is open,
+	// and cost probes that failed and fell back to the local model.
+	DegradedProbes int
 }
 
 // annotate runs the annotation pass over the logical plan.
@@ -96,19 +105,39 @@ func (a *Annotation) visit(op Op, coster Coster, opts Options) error {
 			return nil
 		}
 		// Rule 4.
-		return a.placeCrossJoin(o, coster, opts)
+		a.placeCrossJoin(o, coster, opts)
+		return nil
 
 	default:
 		return fmt.Errorf("core: annotate: unexpected operator %T", op)
 	}
 }
 
-// placeCrossJoin solves Equation 1 for a cross-database join.
-func (a *Annotation) placeCrossJoin(j *Join, coster Coster, opts Options) error {
+// placeCrossJoin solves Equation 1 for a cross-database join. Probe
+// failures never abort it: an unreachable candidate is priced by the local
+// cost model or — when its breaker is open — excluded from placement
+// entirely (degraded planning).
+func (a *Annotation) placeCrossJoin(j *Join, coster Coster, opts Options) {
 	ln, rn := a.Node[j.L], a.Node[j.R]
 	candidates := []string{ln, rn}
 	if opts.FullCandidateSet {
 		candidates = coster.AllNodes()
+	}
+
+	// Degraded planning: a candidate whose breaker is open is excluded —
+	// placing an operator there would only deploy DDL onto a dead node.
+	// With the paper's two-candidate pruning this falls back to the
+	// healthy input's site. If every candidate is unhealthy there is no
+	// better choice; keep them all and let delegation surface the outage.
+	healthy := make([]string, 0, len(candidates))
+	for _, cand := range candidates {
+		if coster.Healthy(cand) {
+			healthy = append(healthy, cand)
+		}
+	}
+	if n := len(candidates) - len(healthy); n > 0 && len(healthy) > 0 {
+		a.DegradedProbes += n
+		candidates = healthy
 	}
 
 	type decision struct {
@@ -158,21 +187,13 @@ func (a *Annotation) placeCrossJoin(j *Join, coster Coster, opts Options) error 
 		var bestMoves [2]Movement
 		combos := movementCombos(sides[0].local, sides[1].local, opts.ForceMovement)
 		for _, combo := range combos {
-			jc, extra, err := a.joinCostAt(coster, cand, j, sides[0].op, sides[1].op, combo[0] == MoveImplicit && !sides[0].local, combo[1] == MoveImplicit && !sides[1].local)
-			if err != nil {
-				return err
-			}
+			jc, extra := a.joinCostAt(coster, cand, j, sides[0].op, sides[1].op, combo[0] == MoveImplicit && !sides[0].local, combo[1] == MoveImplicit && !sides[1].local)
 			// Explicit sides pay the materialization write plus the scan
 			// of the stored copy (Eq. 3's scanCost term; the write is the
 			// same volume).
 			for i, mv := range combo {
 				if !sides[i].local && mv == MoveExplicit {
-					sc, err := coster.CostOperator(cand, engine.CostScan, sides[i].op.Est(), 0, 0)
-					a.ConsultRounds++
-					if err != nil {
-						return err
-					}
-					extra += 2 * sc
+					extra += 2 * a.probe(coster, cand, engine.CostScan, sides[i].op.Est(), 0, 0)
 				}
 			}
 			if jc+extra < bestJoin {
@@ -196,7 +217,6 @@ func (a *Annotation) placeCrossJoin(j *Join, coster Coster, opts Options) error 
 	if rn != best.node {
 		a.Move[j.R] = best.moveR
 	}
-	return nil
 }
 
 // movementCombos enumerates the movement choices for the two sides (local
@@ -222,7 +242,7 @@ func movementCombos(lLocal, rLocal bool, force Movement) [][2]Movement {
 
 // joinCostAt consults the candidate DBMS for the join cost given which
 // inputs arrive as streams.
-func (a *Annotation) joinCostAt(coster Coster, cand string, j *Join, l, r Op, lStream, rStream bool) (float64, float64, error) {
+func (a *Annotation) joinCostAt(coster Coster, cand string, j *Join, l, r Op, lStream, rStream bool) (float64, float64) {
 	out := j.Est()
 	var kind engine.CostKind
 	var left, right float64
@@ -244,9 +264,51 @@ func (a *Annotation) joinCostAt(coster Coster, cand string, j *Join, l, r Op, lS
 	default:
 		kind, left, right = engine.CostJoin, l.Est(), r.Est()
 	}
-	c, err := coster.CostOperator(cand, kind, left, right, out)
+	return a.probe(coster, cand, kind, left, right, out), 0
+}
+
+// probe consults one DBMS for an operator cost, falling back to the local
+// cost model when the node cannot answer — an erroring probe or an open
+// breaker must degrade the estimate, not abort the plan (the middleware
+// owns failure handling for the engines it coordinates). Fallbacks are
+// counted in DegradedProbes; only real round trips count as consult
+// rounds.
+func (a *Annotation) probe(coster Coster, node string, kind engine.CostKind, left, right, out float64) float64 {
+	if !coster.Healthy(node) {
+		a.DegradedProbes++
+		return localCost(kind, left, right, out)
+	}
 	a.ConsultRounds++
-	return c, 0, err
+	c, err := coster.CostOperator(node, kind, left, right, out)
+	if err != nil {
+		a.DegradedProbes++
+		return localCost(kind, left, right, out)
+	}
+	return c
+}
+
+// localCost is the middleware's own calibrated cost model: the same
+// textbook shapes the emulated engines price, in the common currency the
+// calibration normalizes to (a scan of N rows costs N units). It is the
+// degraded-mode stand-in when a DBMS cannot be consulted, and is vendor-
+// blind — exactly the information loss that makes consulting worth its
+// round trips when the engines are reachable.
+func localCost(kind engine.CostKind, left, right, out float64) float64 {
+	switch kind {
+	case engine.CostJoin:
+		small, big := left, right
+		if small > big {
+			small, big = big, small
+		}
+		return small*1.5 + big*1.0 + out*0.5
+	case engine.CostJoinStream:
+		// The streamed (left) side probes a build over the local right.
+		return right*1.5 + left*1.0 + out*0.5
+	case engine.CostAgg:
+		return left * 1.2
+	default: // CostScan and anything unknown: linear in input.
+		return left
+	}
 }
 
 // moveCost prices shipping an operator's output across a link (Eq. 2's

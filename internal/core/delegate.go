@@ -90,8 +90,13 @@ func (s *System) deploy(plan *Plan, qid int64) (*Deployment, error) {
 	dep := &Deployment{}
 	rootView, err := s.processTask(plan, plan.Root, qid, dep)
 	if err != nil {
-		// Best-effort cleanup of whatever was already deployed.
-		s.cleanupDeployment(dep)
+		// Best-effort cleanup of whatever was already deployed. Drops
+		// that fail are parked in the orphan registry (the sweep inside
+		// cleanupDeployment records them); the deployment error carries
+		// the cleanup outcome instead of silently dropping it.
+		if cerr := s.cleanupDeployment(dep); cerr != nil {
+			err = fmt.Errorf("%w (cleanup after failure: %v)", err, cerr)
+		}
 		return nil, err
 	}
 	dep.XDBQuery = "SELECT * FROM " + rootView
@@ -108,6 +113,11 @@ func (s *System) processTask(plan *Plan, t *Task, qid int64, dep *Deployment) (s
 	conn, ok := s.connectors[t.Node]
 	if !ok {
 		return "", fmt.Errorf("core: no connector registered for node %q", t.Node)
+	}
+	// Fail fast before descending into the subtree: deploying onto a
+	// node with an open breaker would only park more orphans.
+	if err := s.health.allow(t.Node); err != nil {
+		return "", err
 	}
 	var wg sync.WaitGroup
 	errs := make([]error, len(t.Inputs))
@@ -133,7 +143,13 @@ func (s *System) processTask(plan *Plan, t *Task, qid int64, dep *Deployment) (s
 	viewName := fmt.Sprintf("xdb%d_t%d", qid, t.ID)
 	vctx, vcancel := s.reqCtx()
 	defer vcancel()
-	if err := conn.DeployView(vctx, viewName, sel); err != nil {
+	err = conn.DeployView(vctx, viewName, sel)
+	s.health.record(t.Node, err)
+	if err != nil {
+		// The outcome is ambiguous (e.g. the response frame was lost after
+		// the DDL executed): park the drop pessimistically. It renders as
+		// IF EXISTS, so sweeping a never-created object is a no-op.
+		s.orphans.add(t.Node, conn.Dialect.DropView(viewName), err.Error())
 		return "", fmt.Errorf("core: deploy view %s on %s: %w", viewName, t.Node, err)
 	}
 	dep.record(cleanupItem{node: t.Node, sql: conn.Dialect.DropView(viewName)}, 1)
@@ -175,7 +191,12 @@ func (s *System) deployInput(plan *Plan, t *Task, edge *Edge, qid int64, dep *De
 	materialize := edge.Move == MoveExplicit
 	ctx, cancel := s.reqCtx()
 	defer cancel()
-	if err := conn.DeployForeignTable(ctx, ftName, cols, serverName, childView, materialize); err != nil {
+	err = conn.DeployForeignTable(ctx, ftName, cols, serverName, childView, materialize)
+	s.health.record(t.Node, err)
+	if err != nil {
+		// Ambiguous outcome: park the drop (IF EXISTS makes it a no-op if
+		// the table never materialized).
+		s.orphans.add(t.Node, conn.Dialect.DropTable(ftName), err.Error())
 		return fmt.Errorf("core: deploy foreign table %s on %s: %w", ftName, t.Node, err)
 	}
 	dep.record(cleanupItem{node: t.Node, sql: conn.Dialect.DropTable(ftName)}, 1)
@@ -209,7 +230,10 @@ func (s *System) deployRawForeign(t *Task, edge *Edge, qid int64, dep *Deploymen
 	}
 	ctx, cancel := s.reqCtx()
 	defer cancel()
-	if err := conn.DeployForeignTable(ctx, ftName, cols, serverName, scan.Table, edge.Move == MoveExplicit); err != nil {
+	err := conn.DeployForeignTable(ctx, ftName, cols, serverName, scan.Table, edge.Move == MoveExplicit)
+	s.health.record(t.Node, err)
+	if err != nil {
+		s.orphans.add(t.Node, conn.Dialect.DropTable(ftName), err.Error())
 		return fmt.Errorf("core: deploy raw foreign table %s on %s: %w", ftName, t.Node, err)
 	}
 	dep.record(cleanupItem{node: t.Node, sql: conn.Dialect.DropTable(ftName)}, 1)
@@ -225,7 +249,9 @@ func (s *System) deployServerOnce(dep *Deployment, conn *connector.Connector, on
 	return dep.registerServer(key, func() error {
 		ctx, cancel := s.reqCtx()
 		defer cancel()
-		if err := conn.DeployServer(ctx, serverName, addr, forNode); err != nil {
+		err := conn.DeployServer(ctx, serverName, addr, forNode)
+		s.health.record(onNode, err)
+		if err != nil {
 			return fmt.Errorf("core: deploy server %s on %s: %w", serverName, onNode, err)
 		}
 		dep.addDDL(1)
@@ -236,24 +262,50 @@ func (s *System) deployServerOnce(dep *Deployment, conn *connector.Connector, on
 // cleanupDeployment drops the query's short-lived relations in reverse
 // creation order. Each drop is individually bounded by CleanupTimeout
 // (falling back to RequestTimeout), so a dead or hung node cannot stall
-// the sweep; errors are collected but do not stop it.
+// the sweep, and a node whose breaker is open is skipped without burning
+// its timeout. Errors are collected but do not stop the sweep; failed
+// items are RETAINED — on the deployment (so a direct retry is possible)
+// and in the system's orphan registry, where the janitor retries them on
+// node recovery or an explicit SweepOrphans. The returned error names the
+// node and statement of every failed drop.
 func (s *System) cleanupDeployment(dep *Deployment) error {
+	dep.mu.Lock()
+	items := dep.cleanup
+	dep.cleanup = nil
+	dep.mu.Unlock()
+
 	var errs []string
-	for i := len(dep.cleanup) - 1; i >= 0; i-- {
-		item := dep.cleanup[i]
+	var failed []cleanupItem
+	for i := len(items) - 1; i >= 0; i-- {
+		item := items[i]
 		conn, ok := s.connectors[item.node]
 		if !ok {
+			failed = append(failed, item)
+			s.orphans.add(item.node, item.sql, "no connector registered")
+			errs = append(errs, fmt.Sprintf("%s on %s: no connector registered", item.sql, item.node))
 			continue
 		}
-		ctx, cancel := s.cleanupCtx()
-		err := conn.Exec(ctx, item.sql)
-		cancel()
+		var err error
+		if err = s.health.allow(item.node); err == nil {
+			ctx, cancel := s.cleanupCtx()
+			err = conn.Exec(ctx, item.sql)
+			cancel()
+			s.health.record(item.node, err)
+		}
 		if err != nil {
-			errs = append(errs, err.Error())
+			failed = append(failed, item)
+			s.orphans.add(item.node, item.sql, err.Error())
+			errs = append(errs, fmt.Sprintf("%s on %s: %v", item.sql, item.node, err))
 		}
 	}
-	dep.cleanup = nil
-	if len(errs) > 0 {
+	if len(failed) > 0 {
+		// Restore reverse-of-creation order for any later direct retry.
+		for i, j := 0, len(failed)-1; i < j; i, j = i+1, j-1 {
+			failed[i], failed[j] = failed[j], failed[i]
+		}
+		dep.mu.Lock()
+		dep.cleanup = append(failed, dep.cleanup...)
+		dep.mu.Unlock()
 		return fmt.Errorf("core: cleanup: %s", strings.Join(errs, "; "))
 	}
 	return nil

@@ -1,0 +1,206 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Node health tracking and circuit breaking. XDB owns no data, but it does
+// own the failure handling for the engines it coordinates: every
+// control-plane RPC outcome (probe, metadata fetch, DDL, drop) feeds a
+// per-node breaker. A run of consecutive failures opens the breaker, after
+// which RPCs to the node fail fast instead of burning timeouts; once a
+// backoff window passes, the breaker goes half-open and lets probes
+// through, and the first success closes it again. Closing a breaker also
+// fires the recovery hook, which the System uses to sweep the node's
+// orphaned short-lived relations (see orphans.go).
+
+// Breaker defaults; override via Options.BreakerThreshold/BreakerBackoff.
+const (
+	// DefaultBreakerThreshold is the consecutive-failure count that opens
+	// a node's breaker.
+	DefaultBreakerThreshold = 3
+	// DefaultBreakerBackoff is how long an open breaker fails fast before
+	// going half-open.
+	DefaultBreakerBackoff = 2 * time.Second
+)
+
+// BreakerState is the circuit state of one node.
+type BreakerState int
+
+// Breaker states.
+const (
+	// BreakerClosed: the node is healthy; RPCs flow normally.
+	BreakerClosed BreakerState = iota
+	// BreakerOpen: the node exceeded the failure threshold; RPCs fail
+	// fast until the backoff window passes.
+	BreakerOpen
+	// BreakerHalfOpen: the backoff passed; probe RPCs are allowed through
+	// and the next outcome settles the state.
+	BreakerHalfOpen
+)
+
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerOpen:
+		return "open"
+	case BreakerHalfOpen:
+		return "half-open"
+	default:
+		return "closed"
+	}
+}
+
+// NodeUnavailableError is returned when a node's breaker is open: the RPC
+// was not attempted.
+type NodeUnavailableError struct {
+	Node string
+	// Until is when the breaker next goes half-open.
+	Until time.Time
+}
+
+func (e *NodeUnavailableError) Error() string {
+	return fmt.Sprintf("core: node %q unavailable: circuit breaker open until %s", e.Node, e.Until.Format(time.RFC3339))
+}
+
+// NodeHealth is a point-in-time snapshot of one node's health.
+type NodeHealth struct {
+	Node  string
+	State BreakerState
+	// ConsecutiveFailures is the current failure run (0 when healthy).
+	ConsecutiveFailures int
+	// Failures and Successes count RPC outcomes over the tracker's life.
+	Failures, Successes int64
+	// LastError is the most recent failure's message.
+	LastError string
+	// OpenedAt is when the breaker last opened (zero if never).
+	OpenedAt time.Time
+}
+
+type nodeHealthState struct {
+	state       BreakerState
+	consecFails int
+	fails, oks  int64
+	lastErr     string
+	openedAt    time.Time
+}
+
+// healthTracker aggregates per-node breakers. Safe for concurrent use.
+type healthTracker struct {
+	threshold int
+	backoff   time.Duration
+	// onRecover fires (outside the lock) when a node's breaker closes
+	// after having been open or half-open.
+	onRecover func(node string)
+
+	mu    sync.Mutex
+	nodes map[string]*nodeHealthState
+}
+
+func newHealthTracker(threshold int, backoff time.Duration, onRecover func(node string)) *healthTracker {
+	if threshold <= 0 {
+		threshold = DefaultBreakerThreshold
+	}
+	if backoff <= 0 {
+		backoff = DefaultBreakerBackoff
+	}
+	return &healthTracker{
+		threshold: threshold,
+		backoff:   backoff,
+		onRecover: onRecover,
+		nodes:     map[string]*nodeHealthState{},
+	}
+}
+
+func (h *healthTracker) state(node string) *nodeHealthState {
+	st, ok := h.nodes[node]
+	if !ok {
+		st = &nodeHealthState{}
+		h.nodes[node] = st
+	}
+	return st
+}
+
+// record feeds one RPC outcome into the node's breaker.
+func (h *healthTracker) record(node string, err error) {
+	var recovered bool
+	h.mu.Lock()
+	st := h.state(node)
+	if err == nil {
+		st.oks++
+		st.consecFails = 0
+		if st.state != BreakerClosed {
+			st.state = BreakerClosed
+			recovered = true
+		}
+	} else {
+		st.fails++
+		st.consecFails++
+		st.lastErr = err.Error()
+		switch st.state {
+		case BreakerHalfOpen:
+			// The probe failed: re-open and restart the backoff window.
+			st.state = BreakerOpen
+			st.openedAt = time.Now()
+		case BreakerClosed:
+			if st.consecFails >= h.threshold {
+				st.state = BreakerOpen
+				st.openedAt = time.Now()
+			}
+		}
+	}
+	h.mu.Unlock()
+	if recovered && h.onRecover != nil {
+		h.onRecover(node)
+	}
+}
+
+// allow reports whether an RPC to the node may proceed. An open breaker
+// inside its backoff window returns NodeUnavailableError; once the window
+// passes the breaker goes half-open and the caller becomes the probe.
+func (h *healthTracker) allow(node string) error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	st := h.state(node)
+	if st.state != BreakerOpen {
+		return nil
+	}
+	until := st.openedAt.Add(h.backoff)
+	if time.Now().Before(until) {
+		return &NodeUnavailableError{Node: node, Until: until}
+	}
+	st.state = BreakerHalfOpen
+	return nil
+}
+
+// healthy reports whether the node should be considered as a placement
+// candidate: true unless its breaker is open inside the backoff window.
+func (h *healthTracker) healthy(node string) bool {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	st, ok := h.nodes[node]
+	if !ok || st.state != BreakerOpen {
+		return true
+	}
+	return !time.Now().Before(st.openedAt.Add(h.backoff))
+}
+
+// snapshot returns the health of every node seen so far.
+func (h *healthTracker) snapshot() map[string]NodeHealth {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	out := make(map[string]NodeHealth, len(h.nodes))
+	for node, st := range h.nodes {
+		out[node] = NodeHealth{
+			Node:                node,
+			State:               st.state,
+			ConsecutiveFailures: st.consecFails,
+			Failures:            st.fails,
+			Successes:           st.oks,
+			LastError:           st.lastErr,
+			OpenedAt:            st.openedAt,
+		}
+	}
+	return out
+}

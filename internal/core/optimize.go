@@ -53,6 +53,15 @@ type Options struct {
 	// deployment's short-lived relations, so the sweep keeps moving past
 	// a dead or hung node. Zero falls back to RequestTimeout.
 	CleanupTimeout time.Duration
+	// BreakerThreshold is the consecutive-failure count that opens a
+	// node's circuit breaker, after which control-plane RPCs to it fail
+	// fast and planning degrades around it. Zero means
+	// DefaultBreakerThreshold.
+	BreakerThreshold int
+	// BreakerBackoff is how long an open breaker fails fast before
+	// half-opening to probe the node again. Zero means
+	// DefaultBreakerBackoff.
+	BreakerBackoff time.Duration
 	// Wire tunes the middleware's wire transport: connection pool
 	// bounds, the default per-request deadline, and the retry policy for
 	// idempotent probe RPCs. The zero value uses the wire defaults

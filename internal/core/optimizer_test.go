@@ -284,6 +284,8 @@ func (f *fakeCoster) CostOperator(node string, kind engine.CostKind, l, r, o flo
 
 func (f *fakeCoster) AllNodes() []string { return f.nodes }
 
+func (f *fakeCoster) Healthy(string) bool { return true }
+
 func (f *fakeCoster) LinkFactor(from, to string) float64 {
 	if v, ok := f.linkFactors[from+"->"+to]; ok {
 		return v

@@ -34,9 +34,23 @@ type System struct {
 	clientWire *wire.Client
 	opts       Options
 
+	// health tracks per-node circuit breakers fed by RPC outcomes; its
+	// recovery hook triggers orphan sweeps (see health.go).
+	health *healthTracker
+	// orphans parks short-lived relations whose drops failed, for the
+	// janitor to retry (see orphans.go).
+	orphans *orphanRegistry
+	sweepMu sync.Mutex
+	// bg tracks background janitor goroutines so Close can wait for them.
+	bg sync.WaitGroup
+
 	seq        atomic.Int64
 	calibrated bool
 	calMu      sync.Mutex
+	// calNodes remembers which connectors calibrated successfully, so a
+	// node that was down during the first calibration pass is retried
+	// once it recovers.
+	calNodes map[string]bool
 	// statsCache caches per-table statistics between queries when
 	// CacheStats is on.
 	statsCache sync.Map // table name -> *engine.TableStats
@@ -48,7 +62,7 @@ type System struct {
 // NewSystem creates the middleware. topo may be nil (no shaping or
 // accounting, unit tests); opts zero value is the paper's configuration.
 func NewSystem(middlewareNode, clientNode string, topo *netsim.Topology, opts Options) *System {
-	return &System{
+	s := &System{
 		node:       middlewareNode,
 		clientNode: clientNode,
 		connectors: map[string]*connector.Connector{},
@@ -56,16 +70,37 @@ func NewSystem(middlewareNode, clientNode string, topo *netsim.Topology, opts Op
 		topo:       topo,
 		clientWire: wire.NewClientWith(clientNode, topo, opts.Wire),
 		opts:       opts,
+		orphans:    newOrphanRegistry(),
+		calNodes:   map[string]bool{},
 	}
+	s.health = newHealthTracker(opts.BreakerThreshold, opts.BreakerBackoff, s.nodeRecovered)
+	return s
+}
+
+// NodeHealth returns every registered node's breaker state and failure
+// counters.
+func (s *System) NodeHealth() map[string]NodeHealth {
+	snap := s.health.snapshot()
+	// Nodes with no recorded RPC outcome yet still report as closed.
+	for n := range s.connectors {
+		if _, ok := snap[n]; !ok {
+			snap[n] = NodeHealth{Node: n, State: BreakerClosed}
+		}
+	}
+	return snap
 }
 
 // Options returns the system's optimizer options.
 func (s *System) Options() Options { return s.opts }
 
-// Close releases the middleware's pooled wire connections (the client's
-// execution transport). The registered connectors' clients are owned by
-// whoever created them — the testbed closes those.
-func (s *System) Close() error { return s.clientWire.Close() }
+// Close waits for background orphan sweeps and releases the middleware's
+// pooled wire connections (the client's execution transport). The
+// registered connectors' clients are owned by whoever created them — the
+// testbed closes those.
+func (s *System) Close() error {
+	s.bg.Wait()
+	return s.clientWire.Close()
+}
 
 // reqCtx returns the context bounding one control-plane RPC (metadata,
 // probe, or DDL round trip), honoring Options.RequestTimeout.
@@ -124,6 +159,11 @@ type Breakdown struct {
 	// ConsultRounds counts the annotation phase's consultation round
 	// trips to the underlying DBMSes.
 	ConsultRounds int
+	// DegradedProbes counts the annotation decisions that could not
+	// consult a DBMS — an open breaker excluded a placement candidate or
+	// a cost probe failed — and fell back to the local cost model. Zero
+	// on a healthy run.
+	DegradedProbes int
 	// DDLCount is the number of DDL statements the delegation deployed.
 	DDLCount int
 }
@@ -136,16 +176,27 @@ func (b Breakdown) Total() time.Duration {
 // Coster implementation: the annotator consults through the system's
 // connectors.
 
-// CostOperator implements Coster.
+// CostOperator implements Coster. An open breaker fails fast without a
+// round trip; actual probe outcomes feed the breaker.
 func (s *System) CostOperator(node string, kind engine.CostKind, left, right, out float64) (float64, error) {
 	c, ok := s.connectors[node]
 	if !ok {
 		return 0, fmt.Errorf("core: cost probe for unknown node %q", node)
 	}
+	if err := s.health.allow(node); err != nil {
+		return 0, err
+	}
 	ctx, cancel := s.reqCtx()
 	defer cancel()
-	return c.CostOperator(ctx, kind, left, right, out)
+	v, err := c.CostOperator(ctx, kind, left, right, out)
+	s.health.record(node, err)
+	return v, err
 }
+
+// Healthy implements Coster: false while the node's breaker is open, so
+// the annotator excludes it from placement candidates and skips probing
+// it (degraded planning).
+func (s *System) Healthy(node string) bool { return s.health.healthy(node) }
 
 // AllNodes implements Coster.
 func (s *System) AllNodes() []string {
@@ -173,22 +224,36 @@ func (s *System) LinkFactor(from, to string) float64 {
 	return f
 }
 
-// calibrate aligns cost units across all connectors, once.
+// calibrate aligns cost units across all connectors. Calibration is
+// best-effort per node: a node that is down keeps its identity calibration
+// (1.0) and is retried on later queries, so an outage on one DBMS does not
+// abort queries that never touch it. Failures feed the node's breaker.
 func (s *System) calibrate() error {
 	s.calMu.Lock()
 	defer s.calMu.Unlock()
 	if s.calibrated {
 		return nil
 	}
-	for _, c := range s.connectors {
+	allOK := true
+	for name, c := range s.connectors {
+		if s.calNodes[name] {
+			continue
+		}
+		if err := s.health.allow(name); err != nil {
+			allOK = false
+			continue
+		}
 		ctx, cancel := s.reqCtx()
 		err := c.Calibrate(ctx)
 		cancel()
+		s.health.record(name, err)
 		if err != nil {
-			return err
+			allOK = false
+			continue
 		}
+		s.calNodes[name] = true
 	}
-	s.calibrated = true
+	s.calibrated = allOK
 	return nil
 }
 
@@ -239,6 +304,7 @@ func (s *System) plan(sql string, bd *Breakdown) (*Plan, error) {
 	plan := finalize(root, ann, collectColTypes(b))
 	bd.Ann = time.Since(start)
 	bd.ConsultRounds = ann.ConsultRounds
+	bd.DegradedProbes = ann.DegradedProbes
 	return plan, nil
 }
 
@@ -261,11 +327,18 @@ func (s *System) gatherMetadata(sel *sqlparser.Select) error {
 			continue // fully cached entry
 		}
 		conn := s.connectors[info.Node]
+		// The table's home must answer — a query referencing it cannot
+		// degrade around the node that holds its rows. An open breaker
+		// fails fast instead of burning a timeout.
+		if err := s.health.allow(info.Node); err != nil {
+			return err
+		}
 		updated := &TableInfo{Name: info.Name, Node: info.Node, Schema: info.Schema, Stats: info.Stats}
 		if updated.Schema == nil {
 			ctx, cancel := s.reqCtx()
 			schema, err := conn.TableSchema(ctx, info.Name)
 			cancel()
+			s.health.record(info.Node, err)
 			if err != nil {
 				return err
 			}
@@ -282,6 +355,7 @@ func (s *System) gatherMetadata(sel *sqlparser.Select) error {
 			ctx, cancel := s.reqCtx()
 			st, err := conn.Stats(ctx, info.Name)
 			cancel()
+			s.health.record(info.Node, err)
 			if err != nil {
 				return err
 			}
@@ -304,6 +378,11 @@ type Result struct {
 	XDBQuery string
 	// RootNode is the DBMS the client executed it on.
 	RootNode string
+	// CleanupErr is non-nil when some of the query's short-lived
+	// relations could not be dropped; those objects are parked in the
+	// orphan registry (System.Orphans) for the janitor to retry. The
+	// query itself still succeeded.
+	CleanupErr error
 }
 
 // Query runs the full XDB pipeline: optimize, delegate, hand the XDB query
@@ -333,19 +412,19 @@ func (s *System) Query(sql string) (*Result, error) {
 	res, execErr := s.clientWire.QueryAll(context.Background(), rootConn.Addr, dep.Node, dep.XDBQuery)
 	bd.Exec = time.Since(start)
 
-	// Cleanup regardless of the execution outcome.
+	// Cleanup regardless of the execution outcome. A failed drop parks
+	// the object in the orphan registry instead of failing an otherwise
+	// successful query — the janitor owns it from here.
 	cleanupErr := s.cleanupDeployment(dep)
 	if execErr != nil {
 		return nil, execErr
 	}
-	if cleanupErr != nil {
-		return nil, cleanupErr
-	}
 	return &Result{
-		Result:    res,
-		Plan:      plan,
-		Breakdown: bd,
-		XDBQuery:  dep.XDBQuery,
-		RootNode:  dep.Node,
+		Result:     res,
+		Plan:       plan,
+		Breakdown:  bd,
+		XDBQuery:   dep.XDBQuery,
+		RootNode:   dep.Node,
+		CleanupErr: cleanupErr,
 	}, nil
 }

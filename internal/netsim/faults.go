@@ -1,0 +1,209 @@
+package netsim
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// Fault injection: the substrate every robustness experiment needs. The
+// paper's testbed kills Docker containers and pulls virtual cables; here
+// the same failures are injected into the simulated topology and surface
+// to the wire layer as connection errors:
+//
+//   - CrashNode/ReviveNode — a DBMS process dies. Every frame and every
+//     handshake touching the node fails until it is revived. The engine's
+//     catalog state survives the crash (a crashed process does not drop
+//     its tables), which is exactly what makes orphaned short-lived
+//     relations observable.
+//   - PartitionSites/HealPartition/Heal — the link between two sites is
+//     cut; nodes on either side keep working, but traffic across the cut
+//     fails.
+//   - SetFlake — a link drops each frame with a probability and/or adds
+//     extra per-frame delay: the gray-failure mode that exercises the
+//     transport's retry and breaker paths without a hard failure.
+//
+// Faults are consulted by Transfer and Handshake, so they apply to fresh
+// dials and to frames riding pooled connections alike. The flake RNG is
+// seeded (SetFaultSeed) so chaos drills are reproducible.
+
+// Flake configures probabilistic degradation of a link.
+type Flake struct {
+	// DropRate is the probability in [0,1] that a frame (or handshake)
+	// over the link is dropped, surfacing as a transport error.
+	DropRate float64
+	// ExtraDelay is added to each surviving frame's shaping delay.
+	ExtraDelay time.Duration
+}
+
+func (f Flake) zero() bool { return f.DropRate == 0 && f.ExtraDelay == 0 }
+
+// FaultError is the error surfaced for an injected fault. The wire layer
+// treats it like any other transport failure: the connection is discarded,
+// idempotent RPCs retry, and the middleware's health tracker counts it
+// against the target node.
+type FaultError struct {
+	From, To string
+	Reason   string
+}
+
+func (e *FaultError) Error() string {
+	return fmt.Sprintf("netsim: %s -> %s: %s", e.From, e.To, e.Reason)
+}
+
+// faultState holds the topology's injected faults. Guarded by the
+// topology's mutex except for the RNG, which has its own (samples happen
+// on every frame of every connection concurrently).
+type faultState struct {
+	crashed    map[string]bool
+	partitions map[[2]Site]bool
+	flakes     map[[2]Site]Flake
+
+	rngMu sync.Mutex
+	rng   *rand.Rand
+}
+
+func (t *Topology) faults() *faultState {
+	// Lazily initialized under t.mu by the mutating entry points; the
+	// read paths tolerate a nil state (no faults injected yet).
+	if t.fault == nil {
+		t.fault = &faultState{
+			crashed:    map[string]bool{},
+			partitions: map[[2]Site]bool{},
+			flakes:     map[[2]Site]Flake{},
+			rng:        rand.New(rand.NewSource(1)),
+		}
+	}
+	return t.fault
+}
+
+// SetFaultSeed reseeds the flake RNG, making a chaos run reproducible.
+func (t *Topology) SetFaultSeed(seed int64) {
+	t.mu.Lock()
+	f := t.faults()
+	t.mu.Unlock()
+	f.rngMu.Lock()
+	f.rng = rand.New(rand.NewSource(seed))
+	f.rngMu.Unlock()
+}
+
+// CrashNode marks a node as crashed: every transfer and handshake touching
+// it fails until ReviveNode. Unknown node names are accepted (the crash
+// applies once the node joins).
+func (t *Topology) CrashNode(node string) {
+	t.mu.Lock()
+	t.faults().crashed[node] = true
+	t.mu.Unlock()
+}
+
+// ReviveNode clears a node's crashed state.
+func (t *Topology) ReviveNode(node string) {
+	t.mu.Lock()
+	if t.fault != nil {
+		delete(t.fault.crashed, node)
+	}
+	t.mu.Unlock()
+}
+
+// Crashed reports whether the node is currently crashed.
+func (t *Topology) Crashed(node string) bool {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.fault != nil && t.fault.crashed[node]
+}
+
+// PartitionSites cuts the link between two sites (a == b isolates a site's
+// internal traffic). Traffic between nodes on opposite sides fails until
+// the partition heals.
+func (t *Topology) PartitionSites(a, b Site) {
+	t.mu.Lock()
+	t.faults().partitions[siteKey(a, b)] = true
+	t.mu.Unlock()
+}
+
+// HealPartition removes the cut between two sites.
+func (t *Topology) HealPartition(a, b Site) {
+	t.mu.Lock()
+	if t.fault != nil {
+		delete(t.fault.partitions, siteKey(a, b))
+	}
+	t.mu.Unlock()
+}
+
+// Heal removes every partition (crashed nodes stay crashed; revive them
+// explicitly).
+func (t *Topology) Heal() {
+	t.mu.Lock()
+	if t.fault != nil {
+		clear(t.fault.partitions)
+	}
+	t.mu.Unlock()
+}
+
+// SetFlake installs probabilistic degradation on the link between two
+// sites; a zero Flake removes it.
+func (t *Topology) SetFlake(a, b Site, f Flake) {
+	t.mu.Lock()
+	fs := t.faults()
+	if f.zero() {
+		delete(fs.flakes, siteKey(a, b))
+	} else {
+		fs.flakes[siteKey(a, b)] = f
+	}
+	t.mu.Unlock()
+}
+
+// LinkFault returns the deterministic fault (crash or partition) currently
+// severing the path between two nodes, or nil. The wire layer consults it
+// before every frame so that a "crashed" server never observes — let alone
+// executes — a request, even though its in-process listener is still
+// accepting TCP connections.
+func (t *Topology) LinkFault(from, to string) error {
+	if from == to {
+		return nil
+	}
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	f := t.fault
+	if f == nil {
+		return nil
+	}
+	if f.crashed[from] {
+		return &FaultError{From: from, To: to, Reason: fmt.Sprintf("node %s crashed", from)}
+	}
+	if f.crashed[to] {
+		return &FaultError{From: from, To: to, Reason: fmt.Sprintf("node %s crashed", to)}
+	}
+	if len(f.partitions) > 0 {
+		key := siteKey(t.sites[from], t.sites[to])
+		if f.partitions[key] {
+			return &FaultError{From: from, To: to, Reason: fmt.Sprintf("network partition between sites %s and %s", t.sites[from], t.sites[to])}
+		}
+	}
+	return nil
+}
+
+// flakeSample draws one frame's fate on the link between two nodes: whether
+// it is dropped, and the extra delay it carries if not.
+func (t *Topology) flakeSample(from, to string) (drop bool, extra time.Duration) {
+	t.mu.RLock()
+	f := t.fault
+	var fl Flake
+	if f != nil && len(f.flakes) > 0 {
+		fl = f.flakes[siteKey(t.sites[from], t.sites[to])]
+	}
+	t.mu.RUnlock()
+	if fl.zero() {
+		return false, 0
+	}
+	if fl.DropRate > 0 {
+		f.rngMu.Lock()
+		v := f.rng.Float64()
+		f.rngMu.Unlock()
+		if v < fl.DropRate {
+			return true, 0
+		}
+	}
+	return false, fl.ExtraDelay
+}

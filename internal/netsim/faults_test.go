@@ -1,0 +1,157 @@
+package netsim
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestCrashNodeSeversTransfers(t *testing.T) {
+	top := Unshaped("a", "b", "c")
+	if err := top.Transfer("a", "b", 10); err != nil {
+		t.Fatalf("healthy transfer: %v", err)
+	}
+	top.CrashNode("b")
+	if !top.Crashed("b") {
+		t.Fatal("Crashed(b) = false after CrashNode")
+	}
+	err := top.Transfer("a", "b", 10)
+	var fe *FaultError
+	if !errors.As(err, &fe) {
+		t.Fatalf("transfer to crashed node: err = %v, want FaultError", err)
+	}
+	if err := top.Handshake("a", "b"); err == nil {
+		t.Fatal("handshake to crashed node succeeded")
+	}
+	// Traffic from the crashed node fails too, and traffic not touching
+	// it is unaffected.
+	if err := top.Transfer("b", "c", 10); err == nil {
+		t.Fatal("transfer from crashed node succeeded")
+	}
+	if err := top.Transfer("a", "c", 10); err != nil {
+		t.Fatalf("bystander transfer: %v", err)
+	}
+	// No bytes were accounted for the severed frames.
+	if got := top.Ledger().Between("a", "b"); got != 10 {
+		t.Errorf("a->b bytes = %d, want only the pre-crash 10", got)
+	}
+
+	top.ReviveNode("b")
+	if top.Crashed("b") {
+		t.Fatal("still crashed after revive")
+	}
+	if err := top.Transfer("a", "b", 10); err != nil {
+		t.Fatalf("transfer after revive: %v", err)
+	}
+}
+
+func TestPartitionSites(t *testing.T) {
+	top := NewTopology()
+	top.AddNode("db1", SiteOnPrem)
+	top.AddNode("xdb", SiteCloud)
+	top.AddNode("db2", SiteOnPrem)
+
+	top.PartitionSites(SiteOnPrem, SiteCloud)
+	if err := top.Transfer("xdb", "db1", 5); err == nil {
+		t.Fatal("cross-partition transfer succeeded")
+	}
+	if err := top.Handshake("xdb", "db1"); err == nil {
+		t.Fatal("cross-partition handshake succeeded")
+	}
+	// Same-side traffic keeps flowing.
+	if err := top.Transfer("db1", "db2", 5); err != nil {
+		t.Fatalf("intra-site transfer: %v", err)
+	}
+
+	top.HealPartition(SiteOnPrem, SiteCloud)
+	if err := top.Transfer("xdb", "db1", 5); err != nil {
+		t.Fatalf("transfer after heal: %v", err)
+	}
+
+	// Heal() clears every partition at once.
+	top.PartitionSites(SiteOnPrem, SiteCloud)
+	top.PartitionSites(SiteOnPrem, SiteOnPrem)
+	top.Heal()
+	if err := top.Transfer("xdb", "db1", 5); err != nil {
+		t.Fatalf("transfer after Heal: %v", err)
+	}
+	if err := top.Transfer("db1", "db2", 5); err != nil {
+		t.Fatalf("intra-site transfer after Heal: %v", err)
+	}
+}
+
+func TestFlakeDropsAreSeededAndProportional(t *testing.T) {
+	top := Unshaped("a", "b")
+	top.SetFlake(SiteOnPrem, SiteOnPrem, Flake{DropRate: 0.5})
+	top.SetFaultSeed(42)
+	const n = 1000
+	drops := 0
+	for i := 0; i < n; i++ {
+		if err := top.Transfer("a", "b", 1); err != nil {
+			drops++
+		}
+	}
+	if drops < n/4 || drops > 3*n/4 {
+		t.Errorf("drop rate 0.5 produced %d/%d drops", drops, n)
+	}
+	// Same seed, same fate sequence.
+	top.SetFaultSeed(42)
+	drops2 := 0
+	for i := 0; i < n; i++ {
+		if err := top.Transfer("a", "b", 1); err != nil {
+			drops2++
+		}
+	}
+	if drops != drops2 {
+		t.Errorf("reseeded run diverged: %d vs %d drops", drops, drops2)
+	}
+	// Clearing the flake restores a clean link.
+	top.SetFlake(SiteOnPrem, SiteOnPrem, Flake{})
+	for i := 0; i < 100; i++ {
+		if err := top.Transfer("a", "b", 1); err != nil {
+			t.Fatalf("transfer after clearing flake: %v", err)
+		}
+	}
+}
+
+func TestFlakeExtraDelay(t *testing.T) {
+	top := Unshaped("a", "b")
+	top.SetFlake(SiteOnPrem, SiteOnPrem, Flake{ExtraDelay: 30 * time.Millisecond})
+	start := time.Now()
+	if err := top.Transfer("a", "b", 1); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed < 20*time.Millisecond {
+		t.Errorf("extra delay not applied: transfer took %v", elapsed)
+	}
+	// TimeScale divides the extra delay like any shaping delay.
+	top.TimeScale = 1000
+	start = time.Now()
+	if err := top.Transfer("a", "b", 1); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed > 20*time.Millisecond {
+		t.Errorf("scaled extra delay took %v", elapsed)
+	}
+}
+
+func TestFaultsConcurrentAccess(t *testing.T) {
+	// Exercised under -race: fault mutation concurrent with transfers.
+	top := Unshaped("a", "b")
+	top.SetFlake(SiteOnPrem, SiteOnPrem, Flake{DropRate: 0.1})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 200; i++ {
+			top.CrashNode("b")
+			top.ReviveNode("b")
+			top.PartitionSites(SiteOnPrem, SiteOnPrem)
+			top.Heal()
+		}
+	}()
+	for i := 0; i < 500; i++ {
+		top.Transfer("a", "b", 1)
+		top.Handshake("a", "b")
+	}
+	<-done
+}

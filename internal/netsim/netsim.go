@@ -151,6 +151,9 @@ type Topology struct {
 	links       map[[2]Site]LinkSpec
 	defaultLink LinkSpec
 	ledger      *Ledger
+	// fault holds injected failures (crashed nodes, partitions, flaky
+	// links); nil until the first injection. See faults.go.
+	fault *faultState
 	// TimeScale divides every shaping delay; >1 speeds up simulated time
 	// uniformly, preserving ratios. 0 is treated as 1.
 	TimeScale float64
@@ -232,16 +235,26 @@ func (t *Topology) TouchesSite(e Edge, s Site) bool {
 
 // Transfer accounts and shapes a frame of n bytes from one node to
 // another: it records the bytes in the ledger and sleeps for the link's
-// shaping delay. Same-node transfers are free and unrecorded.
-func (t *Topology) Transfer(from, to string, n int) {
+// shaping delay. Same-node transfers are free and unrecorded. When a fault
+// severs the path (crashed endpoint, partition, or a flaky-link drop) the
+// frame never moves: nothing is recorded and the fault is returned for the
+// wire layer to surface as a connection error.
+func (t *Topology) Transfer(from, to string, n int) error {
 	if from == to {
-		return
+		return nil
+	}
+	if err := t.LinkFault(from, to); err != nil {
+		return err
+	}
+	drop, extra := t.flakeSample(from, to)
+	if drop {
+		return &FaultError{From: from, To: to, Reason: "flaky link dropped frame"}
 	}
 	t.ledger.Add(from, to, int64(n))
 	spec := t.Link(from, to)
-	d := spec.shapeDelay(n)
+	d := spec.shapeDelay(n) + extra
 	if d <= 0 {
-		return
+		return nil
 	}
 	scale := t.TimeScale
 	if scale > 1 {
@@ -250,6 +263,7 @@ func (t *Topology) Transfer(from, to string, n int) {
 	if d > 0 {
 		time.Sleep(d)
 	}
+	return nil
 }
 
 // Handshake charges the wall-clock cost of establishing a fresh
@@ -257,15 +271,23 @@ func (t *Topology) Transfer(from, to string, n int) {
 // with no bytes recorded in the ledger (the TCP handshake carries no
 // payload the experiments account). Clients call it only when they
 // actually dial — reused pooled connections skip it, which is what makes
-// connection reuse visible in shaped scenarios.
-func (t *Topology) Handshake(from, to string) {
+// connection reuse visible in shaped scenarios. A severed or flaky path
+// fails the handshake, surfacing as a dial error.
+func (t *Topology) Handshake(from, to string) error {
 	if from == to {
-		return
+		return nil
+	}
+	if err := t.LinkFault(from, to); err != nil {
+		return err
+	}
+	drop, extra := t.flakeSample(from, to)
+	if drop {
+		return &FaultError{From: from, To: to, Reason: "flaky link dropped handshake"}
 	}
 	spec := t.Link(from, to)
-	d := 2 * spec.Latency
+	d := 2*spec.Latency + extra
 	if d <= 0 {
-		return
+		return nil
 	}
 	if scale := t.TimeScale; scale > 1 {
 		d = time.Duration(float64(d) / scale)
@@ -273,6 +295,7 @@ func (t *Topology) Handshake(from, to string) {
 	if d > 0 {
 		time.Sleep(d)
 	}
+	return nil
 }
 
 // CloudBytes sums traffic with at least one endpoint in the cloud site —

@@ -59,15 +59,18 @@ func NewClientWith(fromNode string, topo *netsim.Topology, cfg ClientConfig) *Cl
 	}
 }
 
-func (c *Client) account(to string, n int, inbound bool) {
+// account charges one frame to the topology. A non-nil error is an
+// injected fault severing the frame (the simulated equivalent of a reset
+// connection): the caller must treat it as a transport failure and discard
+// the connection.
+func (c *Client) account(to string, n int, inbound bool) error {
 	if c.Topo == nil {
-		return
+		return nil
 	}
 	if inbound {
-		c.Topo.Transfer(to, c.FromNode, n)
-	} else {
-		c.Topo.Transfer(c.FromNode, to, n)
+		return c.Topo.Transfer(to, c.FromNode, n)
 	}
+	return c.Topo.Transfer(c.FromNode, to, n)
 }
 
 // deadlineErr attributes a deadline expiry to the target node.
@@ -109,7 +112,13 @@ func (c *Client) sendRequest(ctx context.Context, addr, toNode string, reqType b
 		}
 		c.applyDeadline(ctx, conn)
 
-		n, err := writeFrame(conn, reqType, payload)
+		// Charge (and fate-sample) the request frame before it touches
+		// the real socket: an injected fault means the frame never
+		// reached the server, so the server must not observe it.
+		err = c.account(toNode, 5+len(payload), false)
+		if err == nil {
+			_, err = writeFrame(conn, reqType, payload)
+		}
 		if err != nil {
 			c.discard(conn)
 			if isTimeout(err) {
@@ -135,9 +144,14 @@ func (c *Client) sendRequest(ctx context.Context, addr, toNode string, reqType b
 			}
 			return nil, 0, nil, lastErr
 		}
-		c.account(toNode, n, false)
 
 		typ, resp, n, err := readFrame(conn)
+		if err == nil {
+			// The response frame rides the return path; an injected
+			// fault there loses it after the server already did the
+			// work — the classic response-lost ambiguity.
+			err = c.account(toNode, n, true)
+		}
 		if err != nil {
 			c.discard(conn)
 			if isTimeout(err) {
@@ -164,7 +178,6 @@ func (c *Client) sendRequest(ctx context.Context, addr, toNode string, reqType b
 			}
 			return nil, 0, nil, lastErr
 		}
-		c.account(toNode, n, true)
 		return conn, typ, resp, nil
 	}
 }
@@ -343,6 +356,11 @@ func (q *queryIter) Next() (sqltypes.Row, error) {
 			return nil, fmt.Errorf("wire: Next on closed result stream from %s", q.toNode)
 		}
 		typ, payload, n, err := readFrame(q.conn)
+		if err == nil {
+			// An injected fault mid-stream severs the result flow; the
+			// connection carries undrained frames and must be discarded.
+			err = q.c.account(q.toNode, n, true)
+		}
 		if err != nil {
 			q.finish(false)
 			if isTimeout(err) {
@@ -351,7 +369,6 @@ func (q *queryIter) Next() (sqltypes.Row, error) {
 			}
 			return nil, fmt.Errorf("wire: result stream from %s: %w", q.toNode, err)
 		}
-		q.c.account(q.toNode, n, true)
 		switch typ {
 		case msgRows, msgRowsText:
 			q.batch, err = decodeRowBatch(payload, typ)

@@ -136,8 +136,14 @@ func (c *Client) getConn(ctx context.Context, addr, toNode string) (net.Conn, bo
 	if c.Topo != nil {
 		// Fresh connections pay the link's handshake round trip; reused
 		// ones skip it (and frame traffic is charged identically either
-		// way).
-		c.Topo.Handshake(c.FromNode, toNode)
+		// way). An injected fault (crashed node, partition, flaky drop)
+		// fails the handshake: the dial never completes at the simulated
+		// layer even though the in-process listener accepted it.
+		if err := c.Topo.Handshake(c.FromNode, toNode); err != nil {
+			c.closes.Add(1)
+			conn.Close()
+			return nil, false, fmt.Errorf("wire: dial %s: %w", addr, err)
+		}
 	}
 	return conn, false, nil
 }

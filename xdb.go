@@ -79,6 +79,33 @@ type (
 	// TransportStats is a snapshot of a wire client's connection-level
 	// counters (dials, reuses, retries, timeouts).
 	TransportStats = wire.TransportStats
+	// Site is a location in the simulated topology; fault injection
+	// (partitions, flaky links) targets site pairs.
+	Site = netsim.Site
+	// Flake degrades one link with probabilistic frame loss and extra
+	// delay.
+	Flake = netsim.Flake
+	// FaultError is the error surfaced by RPCs that crossed an injected
+	// fault (crashed node, partition, dropped frame).
+	FaultError = netsim.FaultError
+	// NodeHealth is a snapshot of one DBMS node's circuit breaker and
+	// RPC outcome counters (System.NodeHealth).
+	NodeHealth = core.NodeHealth
+	// BreakerState is a node's circuit state: closed, open, or half-open.
+	BreakerState = core.BreakerState
+	// NodeUnavailableError is returned when an RPC is refused because the
+	// target node's breaker is open.
+	NodeUnavailableError = core.NodeUnavailableError
+	// Orphan is a short-lived relation whose drop failed, parked for the
+	// janitor (System.Orphans / System.SweepOrphans).
+	Orphan = core.Orphan
+)
+
+// Circuit breaker states.
+const (
+	BreakerClosed   = core.BreakerClosed
+	BreakerOpen     = core.BreakerOpen
+	BreakerHalfOpen = core.BreakerHalfOpen
 )
 
 // Movement kinds.
@@ -288,3 +315,44 @@ func (c *Cluster) TransferTotal() int64 { return c.tb.Topo.Ledger().Total() }
 
 // ResetTransfers clears the transfer ledger.
 func (c *Cluster) ResetTransfers() { c.tb.ResetTransfers() }
+
+// Fault injection. The knobs below manipulate the simulated network under
+// a running cluster; the middleware's health tracking, degraded planning,
+// and orphan-DDL janitor react to them exactly as they would to a real
+// outage. See README "Fault injection & recovery".
+
+// CrashNode makes every RPC from or to the node fail until ReviveNode.
+func (c *Cluster) CrashNode(node string) { c.tb.Topo.CrashNode(node) }
+
+// ReviveNode undoes CrashNode.
+func (c *Cluster) ReviveNode(node string) { c.tb.Topo.ReviveNode(node) }
+
+// PartitionSites severs the link between two sites (both directions).
+func (c *Cluster) PartitionSites(a, b Site) { c.tb.Topo.PartitionSites(a, b) }
+
+// SiteOf returns the site a node was placed on by the cluster's scenario.
+func (c *Cluster) SiteOf(node string) Site { return c.tb.Topo.SiteOf(node) }
+
+// Heal removes every site partition (crashed nodes stay crashed).
+func (c *Cluster) Heal() { c.tb.Topo.Heal() }
+
+// SetFlake degrades the link between two sites with probabilistic frame
+// loss and extra delay; a zero Flake restores the link.
+func (c *Cluster) SetFlake(a, b Site, f Flake) { c.tb.Topo.SetFlake(a, b, f) }
+
+// SetFaultSeed fixes the RNG behind probabilistic faults, making flaky-
+// link drops reproducible.
+func (c *Cluster) SetFaultSeed(seed int64) { c.tb.Topo.SetFaultSeed(seed) }
+
+// NodeHealth reports every DBMS node's breaker state and RPC counters.
+func (c *Cluster) NodeHealth() map[string]NodeHealth { return c.tb.System.NodeHealth() }
+
+// Orphans lists short-lived relations whose drops failed and await the
+// janitor.
+func (c *Cluster) Orphans() []Orphan { return c.tb.System.Orphans() }
+
+// SweepOrphans retries every parked drop, returning how many were
+// collected and how many remain.
+func (c *Cluster) SweepOrphans() (dropped, remaining int, err error) {
+	return c.tb.System.SweepOrphans()
+}
