@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet bench bench-transport chaos check
+.PHONY: build test race vet bench bench-transport chaos soak check
 
 build:
 	$(GO) build ./...
@@ -23,6 +23,11 @@ race:
 # seed (netsim.SetFaultSeed), so drops are reproducible across runs.
 chaos:
 	$(GO) test -race -count=1 -v -run 'TestChaos' ./internal/core/
+
+# Concurrency soak: burst admission, staggered mid-query cancellation,
+# and drain-under-load against a live cluster, under the race detector.
+soak:
+	$(GO) test -race -count=1 -v -run 'TestSoak' ./internal/core/
 
 # Full experiment regeneration (slow; see EXPERIMENTS.md).
 bench:

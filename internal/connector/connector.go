@@ -18,6 +18,18 @@ import (
 	"xdb/internal/wire"
 )
 
+// Connectors are context-first: every RPC takes the caller's context,
+// which bounds the round trip (tightened by the wire client's configured
+// RequestTimeout) and aborts it on cancellation. A nil context is
+// normalized to context.Background so legacy call sites cannot panic the
+// transport.
+func reqCtx(ctx context.Context) context.Context {
+	if ctx == nil {
+		return context.Background()
+	}
+	return ctx
+}
+
 // Connector is XDB's handle on one underlying DBMS.
 type Connector struct {
 	// Node is the DBMS's node name — also the annotation the optimizer
@@ -89,19 +101,19 @@ func (c *Connector) Calibration() float64 { return c.calibration }
 // Exec deploys a DDL statement. DDL is never retried by the transport;
 // the context (or the client's configured RequestTimeout) bounds it.
 func (c *Connector) Exec(ctx context.Context, ddl string) error {
-	return c.client.Exec(ctx, c.Addr, c.Node, ddl)
+	return c.client.Exec(reqCtx(ctx), c.Addr, c.Node, ddl)
 }
 
 // Query runs a SELECT and streams results (used by the mediator baselines
 // and the XDB client).
 func (c *Connector) Query(ctx context.Context, sql string) (*engine.Result, error) {
-	return c.client.QueryAll(ctx, c.Addr, c.Node, sql)
+	return c.client.QueryAll(reqCtx(ctx), c.Addr, c.Node, sql)
 }
 
 // QueryStream runs a SELECT and returns the result schema and streaming
 // iterator.
 func (c *Connector) QueryStream(ctx context.Context, sql string) (*sqltypes.Schema, engine.RowIter, error) {
-	return c.client.Query(ctx, c.Addr, c.Node, sql)
+	return c.client.Query(reqCtx(ctx), c.Addr, c.Node, sql)
 }
 
 // Explain fetches calibrated cost and row estimates for a query on the

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -29,8 +30,9 @@ import (
 // System implements it over the wire connectors; tests may fake it.
 type Coster interface {
 	// CostOperator prices an operator at a DBMS in calibrated common
-	// units (one consultation round trip).
-	CostOperator(node string, kind engine.CostKind, left, right, out float64) (float64, error)
+	// units (one consultation round trip). The context bounds the probe;
+	// cancelling it degrades the estimate to the local cost model.
+	CostOperator(ctx context.Context, node string, kind engine.CostKind, left, right, out float64) (float64, error)
 	// AllNodes lists every registered DBMS (for the FullCandidateSet
 	// ablation).
 	AllNodes() []string
@@ -67,16 +69,22 @@ type Annotation struct {
 	DegradedProbes int
 }
 
-// annotate runs the annotation pass over the logical plan.
-func annotate(root Op, coster Coster, opts Options) (*Annotation, error) {
+// annotate runs the annotation pass over the logical plan. The context
+// bounds the consultation probes; cancellation aborts the pass.
+func annotate(ctx context.Context, root Op, coster Coster, opts Options) (*Annotation, error) {
 	a := &Annotation{Node: map[Op]string{}, Move: map[Op]Movement{}}
-	if err := a.visit(root, coster, opts); err != nil {
+	if err := a.visit(ctx, root, coster, opts); err != nil {
 		return nil, err
 	}
 	return a, nil
 }
 
-func (a *Annotation) visit(op Op, coster Coster, opts Options) error {
+func (a *Annotation) visit(ctx context.Context, op Op, coster Coster, opts Options) error {
+	// A cancelled query must stop consulting, not degrade every remaining
+	// decision to the local model and then fail at delegation.
+	if err := ctx.Err(); err != nil {
+		return fmt.Errorf("core: annotate: %w", err)
+	}
 	switch o := op.(type) {
 	case *Scan:
 		// Rule 1.
@@ -85,17 +93,17 @@ func (a *Annotation) visit(op Op, coster Coster, opts Options) error {
 
 	case *Final:
 		// Rule 2.
-		if err := a.visit(o.In, coster, opts); err != nil {
+		if err := a.visit(ctx, o.In, coster, opts); err != nil {
 			return err
 		}
 		a.Node[op] = a.Node[o.In]
 		return nil
 
 	case *Join:
-		if err := a.visit(o.L, coster, opts); err != nil {
+		if err := a.visit(ctx, o.L, coster, opts); err != nil {
 			return err
 		}
-		if err := a.visit(o.R, coster, opts); err != nil {
+		if err := a.visit(ctx, o.R, coster, opts); err != nil {
 			return err
 		}
 		ln, rn := a.Node[o.L], a.Node[o.R]
@@ -105,7 +113,7 @@ func (a *Annotation) visit(op Op, coster Coster, opts Options) error {
 			return nil
 		}
 		// Rule 4.
-		a.placeCrossJoin(o, coster, opts)
+		a.placeCrossJoin(ctx, o, coster, opts)
 		return nil
 
 	default:
@@ -117,7 +125,7 @@ func (a *Annotation) visit(op Op, coster Coster, opts Options) error {
 // failures never abort it: an unreachable candidate is priced by the local
 // cost model or — when its breaker is open — excluded from placement
 // entirely (degraded planning).
-func (a *Annotation) placeCrossJoin(j *Join, coster Coster, opts Options) {
+func (a *Annotation) placeCrossJoin(ctx context.Context, j *Join, coster Coster, opts Options) {
 	ln, rn := a.Node[j.L], a.Node[j.R]
 	candidates := []string{ln, rn}
 	if opts.FullCandidateSet {
@@ -187,13 +195,13 @@ func (a *Annotation) placeCrossJoin(j *Join, coster Coster, opts Options) {
 		var bestMoves [2]Movement
 		combos := movementCombos(sides[0].local, sides[1].local, opts.ForceMovement)
 		for _, combo := range combos {
-			jc, extra := a.joinCostAt(coster, cand, j, sides[0].op, sides[1].op, combo[0] == MoveImplicit && !sides[0].local, combo[1] == MoveImplicit && !sides[1].local)
+			jc, extra := a.joinCostAt(ctx, coster, cand, j, sides[0].op, sides[1].op, combo[0] == MoveImplicit && !sides[0].local, combo[1] == MoveImplicit && !sides[1].local)
 			// Explicit sides pay the materialization write plus the scan
 			// of the stored copy (Eq. 3's scanCost term; the write is the
 			// same volume).
 			for i, mv := range combo {
 				if !sides[i].local && mv == MoveExplicit {
-					extra += 2 * a.probe(coster, cand, engine.CostScan, sides[i].op.Est(), 0, 0)
+					extra += 2 * a.probe(ctx, coster, cand, engine.CostScan, sides[i].op.Est(), 0, 0)
 				}
 			}
 			if jc+extra < bestJoin {
@@ -242,7 +250,7 @@ func movementCombos(lLocal, rLocal bool, force Movement) [][2]Movement {
 
 // joinCostAt consults the candidate DBMS for the join cost given which
 // inputs arrive as streams.
-func (a *Annotation) joinCostAt(coster Coster, cand string, j *Join, l, r Op, lStream, rStream bool) (float64, float64) {
+func (a *Annotation) joinCostAt(ctx context.Context, coster Coster, cand string, j *Join, l, r Op, lStream, rStream bool) (float64, float64) {
 	out := j.Est()
 	var kind engine.CostKind
 	var left, right float64
@@ -264,7 +272,7 @@ func (a *Annotation) joinCostAt(coster Coster, cand string, j *Join, l, r Op, lS
 	default:
 		kind, left, right = engine.CostJoin, l.Est(), r.Est()
 	}
-	return a.probe(coster, cand, kind, left, right, out), 0
+	return a.probe(ctx, coster, cand, kind, left, right, out), 0
 }
 
 // probe consults one DBMS for an operator cost, falling back to the local
@@ -273,13 +281,13 @@ func (a *Annotation) joinCostAt(coster Coster, cand string, j *Join, l, r Op, lS
 // owns failure handling for the engines it coordinates). Fallbacks are
 // counted in DegradedProbes; only real round trips count as consult
 // rounds.
-func (a *Annotation) probe(coster Coster, node string, kind engine.CostKind, left, right, out float64) float64 {
+func (a *Annotation) probe(ctx context.Context, coster Coster, node string, kind engine.CostKind, left, right, out float64) float64 {
 	if !coster.Healthy(node) {
 		a.DegradedProbes++
 		return localCost(kind, left, right, out)
 	}
 	a.ConsultRounds++
-	c, err := coster.CostOperator(node, kind, left, right, out)
+	c, err := coster.CostOperator(ctx, node, kind, left, right, out)
 	if err != nil {
 		a.DegradedProbes++
 		return localCost(kind, left, right, out)

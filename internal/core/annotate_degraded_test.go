@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -20,7 +21,7 @@ type degradedCoster struct {
 
 func (d *degradedCoster) Healthy(node string) bool { return !d.unhealthy[node] }
 
-func (d *degradedCoster) CostOperator(node string, kind engine.CostKind, l, r, o float64) (float64, error) {
+func (d *degradedCoster) CostOperator(ctx context.Context, node string, kind engine.CostKind, l, r, o float64) (float64, error) {
 	if d.probes == nil {
 		d.probes = map[string]int{}
 	}
@@ -28,7 +29,7 @@ func (d *degradedCoster) CostOperator(node string, kind engine.CostKind, l, r, o
 	if d.erroring[node] {
 		return 0, fmt.Errorf("probe to %s failed", node)
 	}
-	return d.fakeCoster.CostOperator(node, kind, l, r, o)
+	return d.fakeCoster.CostOperator(ctx, node, kind, l, r, o)
 }
 
 // TestAnnotateDegraded exercises the degraded-planning paths: annotation
@@ -112,7 +113,7 @@ func TestAnnotateDegraded(t *testing.T) {
 				coster.erroring[n] = true
 			}
 			root := &Final{In: joined, Sel: canon}
-			ann, err := annotate(root, coster, tc.opts)
+			ann, err := annotate(context.Background(), root, coster, tc.opts)
 			if err != nil {
 				t.Fatalf("annotate must not abort under degradation: %v", err)
 			}

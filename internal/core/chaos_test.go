@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"testing"
@@ -198,7 +199,7 @@ func TestChaosKillMidDeployment(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	dep, err := cl.sys.deploy(plan, 777)
+	dep, err := cl.sys.deploy(context.Background(), plan, 777)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -288,7 +289,7 @@ func TestChaosPartitionDuringPlanning(t *testing.T) {
 	cl.topo.PartitionSites(chaosSite("db3"), chaosSite("xdb"))
 	// Trip db3's breaker: three failed probes reach the threshold.
 	for i := 0; i < 3; i++ {
-		if _, err := cl.sys.CostOperator("db3", engine.CostScan, 100, 0, 0); err == nil {
+		if _, err := cl.sys.CostOperator(context.Background(), "db3", engine.CostScan, 100, 0, 0); err == nil {
 			t.Fatal("cost probe crossed a partitioned link")
 		}
 	}

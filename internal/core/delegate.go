@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"sync"
@@ -83,17 +84,24 @@ type cleanupItem struct {
 	sql  string
 }
 
-// deploy runs Algorithm 1 over the plan. qid makes every created object
-// name unique per query, so concurrent queries do not collide and cleanup
-// is precise ("short-lived relations", Sec. III).
-func (s *System) deploy(plan *Plan, qid int64) (*Deployment, error) {
+// deploy runs Algorithm 1 over the plan under the caller's context. qid
+// makes every created object name unique per query, so concurrent queries
+// do not collide and cleanup is precise ("short-lived relations",
+// Sec. III). Cancelling the context aborts the deployment; the cleanup of
+// whatever was already deployed runs on a detached context regardless.
+func (s *System) deploy(ctx context.Context, plan *Plan, qid int64) (*Deployment, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	dep := &Deployment{}
-	rootView, err := s.processTask(plan, plan.Root, qid, dep)
+	rootView, err := s.processTask(ctx, plan, plan.Root, qid, dep)
 	if err != nil {
-		// Best-effort cleanup of whatever was already deployed. Drops
-		// that fail are parked in the orphan registry (the sweep inside
-		// cleanupDeployment records them); the deployment error carries
-		// the cleanup outcome instead of silently dropping it.
+		// Best-effort cleanup of whatever was already deployed — on a
+		// detached context, so a cancelled deployment still drops its
+		// objects. Drops that fail are parked in the orphan registry (the
+		// sweep inside cleanupDeployment records them); the deployment
+		// error carries the cleanup outcome instead of silently dropping
+		// it.
 		if cerr := s.cleanupDeployment(dep); cerr != nil {
 			err = fmt.Errorf("%w (cleanup after failure: %v)", err, cerr)
 		}
@@ -108,8 +116,11 @@ func (s *System) deploy(plan *Plan, qid int64) (*Deployment, error) {
 // roots of independent subtrees, so they deploy concurrently — the
 // parallelization of delegation the paper's dataflow dependencies permit
 // (Sec. IV-A: "this allows us to parallelize certain parts of the
-// delegation and execution").
-func (s *System) processTask(plan *Plan, t *Task, qid int64, dep *Deployment) (string, error) {
+// delegation and execution") — but over a bounded worker pool
+// (deployFanout), so a wide task cannot spawn a goroutine per input. The
+// first failure cancels the siblings: workers drain without starting new
+// DDL once the task context is cancelled.
+func (s *System) processTask(ctx context.Context, plan *Plan, t *Task, qid int64, dep *Deployment) (string, error) {
 	conn, ok := s.connectors[t.Node]
 	if !ok {
 		return "", fmt.Errorf("core: no connector registered for node %q", t.Node)
@@ -119,31 +130,27 @@ func (s *System) processTask(plan *Plan, t *Task, qid int64, dep *Deployment) (s
 	if err := s.health.allow(t.Node); err != nil {
 		return "", err
 	}
-	var wg sync.WaitGroup
-	errs := make([]error, len(t.Inputs))
-	for i, edge := range t.Inputs {
-		wg.Add(1)
-		go func(i int, edge *Edge) {
-			defer wg.Done()
-			errs[i] = s.deployInput(plan, t, edge, qid, dep)
-		}(i, edge)
-	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
+	if len(t.Inputs) > 0 {
+		if err := s.deployInputs(ctx, plan, t, qid, dep); err != nil {
 			return "", err
 		}
 	}
 
-	// CREATE the task's virtual relation (line 12).
+	// CREATE the task's virtual relation (line 12), within the node's
+	// control-plane budget.
 	sel, err := renderTask(t)
 	if err != nil {
 		return "", err
 	}
 	viewName := fmt.Sprintf("xdb%d_t%d", qid, t.ID)
-	vctx, vcancel := s.reqCtx()
-	defer vcancel()
+	release, err := s.nodes.acquire(ctx, t.Node, 1)
+	if err != nil {
+		return "", fmt.Errorf("core: deploy view %s on %s: %w", viewName, t.Node, err)
+	}
+	vctx, vcancel := s.reqCtx(ctx)
 	err = conn.DeployView(vctx, viewName, sel)
+	vcancel()
+	release()
 	s.health.record(t.Node, err)
 	if err != nil {
 		// The outcome is ambiguous (e.g. the response frame was lost after
@@ -157,17 +164,75 @@ func (s *System) processTask(plan *Plan, t *Task, qid int64, dep *Deployment) (s
 	return viewName, nil
 }
 
+// deployInputs wires a task's input edges over a bounded worker pool.
+// The first error cancels the task context, stopping the feed and making
+// the remaining workers drain without deploying; the caller gets that
+// first error without waiting for work that never started.
+func (s *System) deployInputs(ctx context.Context, plan *Plan, t *Task, qid int64, dep *Deployment) error {
+	tctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	var (
+		once     sync.Once
+		firstErr error
+	)
+	fail := func(err error) {
+		once.Do(func() {
+			firstErr = err
+			cancel()
+		})
+	}
+
+	workers := s.deployFanout()
+	if workers > len(t.Inputs) {
+		workers = len(t.Inputs)
+	}
+	edges := make(chan *Edge)
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for edge := range edges {
+				if err := tctx.Err(); err != nil {
+					fail(err)
+					return
+				}
+				if err := s.deployInput(tctx, plan, t, edge, qid, dep); err != nil {
+					fail(err)
+					return
+				}
+			}
+		}()
+	}
+feed:
+	for _, edge := range t.Inputs {
+		select {
+		case edges <- edge:
+		case <-tctx.Done():
+			fail(tctx.Err())
+			break feed
+		}
+	}
+	close(edges)
+	wg.Wait()
+	if firstErr == nil && ctx.Err() != nil {
+		firstErr = ctx.Err()
+	}
+	return firstErr
+}
+
 // deployInput wires one dataflow edge: the producing subtree, the SQL/MED
 // server registration, and the foreign table on the consumer.
-func (s *System) deployInput(plan *Plan, t *Task, edge *Edge, qid int64, dep *Deployment) error {
+func (s *System) deployInput(ctx context.Context, plan *Plan, t *Task, edge *Edge, qid int64, dep *Deployment) error {
 	// A4 ablation: a child task that is a bare (filtered, pruned) scan is
 	// not wrapped in a virtual relation — the foreign table points
 	// straight at the base table, relying on the wrapper's (absent)
 	// pushdown.
 	if s.opts.NoVirtualRelations && isBareScan(edge.From) {
-		return s.deployRawForeign(t, edge, qid, dep)
+		return s.deployRawForeign(ctx, t, edge, qid, dep)
 	}
-	childView, err := s.processTask(plan, edge.From, qid, dep)
+	childView, err := s.processTask(ctx, plan, edge.From, qid, dep)
 	if err != nil {
 		return err
 	}
@@ -177,7 +242,7 @@ func (s *System) deployInput(plan *Plan, t *Task, edge *Edge, qid int64, dep *De
 	// CREATE SERVER, exactly once per (consumer, producer) pair even when
 	// sibling edges deploy concurrently.
 	serverName := "xdbsrv_" + edge.From.Node
-	if err := s.deployServerOnce(dep, conn, t.Node, serverName, childConn.Addr, edge.From.Node); err != nil {
+	if err := s.deployServerOnce(ctx, dep, conn, t.Node, serverName, childConn.Addr, edge.From.Node); err != nil {
 		return err
 	}
 
@@ -189,20 +254,41 @@ func (s *System) deployInput(plan *Plan, t *Task, edge *Edge, qid int64, dep *De
 		cols[i] = sqltypes.Column{Name: MangleCol(gid), Type: edge.Placeholder.Types[i]}
 	}
 	materialize := edge.Move == MoveExplicit
-	ctx, cancel := s.reqCtx()
-	defer cancel()
-	err = conn.DeployForeignTable(ctx, ftName, cols, serverName, childView, materialize)
-	s.health.record(t.Node, err)
+	err = s.deployForeign(ctx, conn, t.Node, ftName, cols, serverName, childView, materialize)
 	if err != nil {
-		// Ambiguous outcome: park the drop (IF EXISTS makes it a no-op if
-		// the table never materialized).
-		s.orphans.add(t.Node, conn.Dialect.DropTable(ftName), err.Error())
-		return fmt.Errorf("core: deploy foreign table %s on %s: %w", ftName, t.Node, err)
+		return err
 	}
 	dep.record(cleanupItem{node: t.Node, sql: conn.Dialect.DropTable(ftName)}, 1)
 
 	// Replace the ? in the task's instruction (lines 10–12).
 	edge.Placeholder.Rel = ftName
+	return nil
+}
+
+// deployForeign issues one CREATE FOREIGN TABLE within the consumer
+// node's control-plane budget. A materializing (explicit-movement) deploy
+// weighs double: fetch-and-store makes the node pull and write the whole
+// input, the heaviest DDL the delegation issues.
+func (s *System) deployForeign(ctx context.Context, conn *connector.Connector, node, ftName string, cols []sqltypes.Column, serverName, remote string, materialize bool) error {
+	weight := 1
+	if materialize {
+		weight = 2
+	}
+	release, err := s.nodes.acquire(ctx, node, weight)
+	if err != nil {
+		return fmt.Errorf("core: deploy foreign table %s on %s: %w", ftName, node, err)
+	}
+	rctx, cancel := s.reqCtx(ctx)
+	err = conn.DeployForeignTable(rctx, ftName, cols, serverName, remote, materialize)
+	cancel()
+	release()
+	s.health.record(node, err)
+	if err != nil {
+		// Ambiguous outcome: park the drop (IF EXISTS makes it a no-op if
+		// the table never materialized).
+		s.orphans.add(node, conn.Dialect.DropTable(ftName), err.Error())
+		return fmt.Errorf("core: deploy foreign table %s on %s: %w", ftName, node, err)
+	}
 	return nil
 }
 
@@ -215,12 +301,12 @@ func isBareScan(t *Task) bool {
 
 // deployRawForeign wires an A4-ablation edge: a foreign table over the
 // child's base table, exposing the full base schema.
-func (s *System) deployRawForeign(t *Task, edge *Edge, qid int64, dep *Deployment) error {
+func (s *System) deployRawForeign(ctx context.Context, t *Task, edge *Edge, qid int64, dep *Deployment) error {
 	conn := s.connectors[t.Node]
 	scan := edge.From.Root.(*Scan)
 	childConn := s.connectors[edge.From.Node]
 	serverName := "xdbsrv_" + edge.From.Node
-	if err := s.deployServerOnce(dep, conn, t.Node, serverName, childConn.Addr, edge.From.Node); err != nil {
+	if err := s.deployServerOnce(ctx, dep, conn, t.Node, serverName, childConn.Addr, edge.From.Node); err != nil {
 		return err
 	}
 	ftName := fmt.Sprintf("xdb%d_ft%d", qid, edge.From.ID)
@@ -228,13 +314,8 @@ func (s *System) deployRawForeign(t *Task, edge *Edge, qid int64, dep *Deploymen
 	for i, c := range scan.Schema.Columns {
 		cols[i] = sqltypes.Column{Name: c.Name, Type: c.Type}
 	}
-	ctx, cancel := s.reqCtx()
-	defer cancel()
-	err := conn.DeployForeignTable(ctx, ftName, cols, serverName, scan.Table, edge.Move == MoveExplicit)
-	s.health.record(t.Node, err)
-	if err != nil {
-		s.orphans.add(t.Node, conn.Dialect.DropTable(ftName), err.Error())
-		return fmt.Errorf("core: deploy raw foreign table %s on %s: %w", ftName, t.Node, err)
+	if err := s.deployForeign(ctx, conn, t.Node, ftName, cols, serverName, scan.Table, edge.Move == MoveExplicit); err != nil {
+		return err
 	}
 	dep.record(cleanupItem{node: t.Node, sql: conn.Dialect.DropTable(ftName)}, 1)
 	edge.Placeholder.Rel = ftName
@@ -244,12 +325,17 @@ func (s *System) deployRawForeign(t *Task, edge *Edge, qid int64, dep *Deploymen
 
 // deployServerOnce registers the producer's SQL/MED server on the
 // consumer exactly once per deployment, counting the DDL once.
-func (s *System) deployServerOnce(dep *Deployment, conn *connector.Connector, onNode, serverName, addr, forNode string) error {
+func (s *System) deployServerOnce(ctx context.Context, dep *Deployment, conn *connector.Connector, onNode, serverName, addr, forNode string) error {
 	key := onNode + "\x00" + forNode
 	return dep.registerServer(key, func() error {
-		ctx, cancel := s.reqCtx()
-		defer cancel()
-		err := conn.DeployServer(ctx, serverName, addr, forNode)
+		release, err := s.nodes.acquire(ctx, onNode, 1)
+		if err != nil {
+			return fmt.Errorf("core: deploy server %s on %s: %w", serverName, onNode, err)
+		}
+		rctx, cancel := s.reqCtx(ctx)
+		err = conn.DeployServer(rctx, serverName, addr, forNode)
+		cancel()
+		release()
 		s.health.record(onNode, err)
 		if err != nil {
 			return fmt.Errorf("core: deploy server %s on %s: %w", serverName, onNode, err)

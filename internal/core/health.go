@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sync"
 	"time"
@@ -122,8 +124,15 @@ func (h *healthTracker) state(node string) *nodeHealthState {
 	return st
 }
 
-// record feeds one RPC outcome into the node's breaker.
+// record feeds one RPC outcome into the node's breaker. A caller
+// cancellation is a non-signal: the RPC was abandoned by its client, not
+// failed by the node, so it must neither trip the breaker nor close it.
+// (Deadline expiry still counts — a timeout is how a dead or wedged node
+// manifests.)
 func (h *healthTracker) record(node string, err error) {
+	if err != nil && errors.Is(err, context.Canceled) {
+		return
+	}
 	var recovered bool
 	h.mu.Lock()
 	st := h.state(node)

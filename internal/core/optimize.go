@@ -62,6 +62,30 @@ type Options struct {
 	// half-opening to probe the node again. Zero means
 	// DefaultBreakerBackoff.
 	BreakerBackoff time.Duration
+
+	// QueryTimeout bounds one query end to end — admission wait,
+	// planning, delegation, and execution. Zero leaves the query bounded
+	// only by the caller's context (the paper configuration). Cleanup of
+	// short-lived relations runs on a detached context and is bounded
+	// separately by CleanupTimeout.
+	QueryTimeout time.Duration
+	// MaxInFlight caps the queries executing concurrently; excess
+	// queries wait in a bounded queue while their deadline allows and
+	// are shed with OverloadError otherwise. Zero means unlimited (the
+	// paper configuration).
+	MaxInFlight int
+	// MaxQueue bounds the admission wait queue. Zero means MaxInFlight
+	// (one waiting generation); negative disables queueing so the cap
+	// sheds immediately.
+	MaxQueue int
+	// MaxPerNode caps the weighted control-plane work (cost probes,
+	// deploy DDL) concurrently in flight against any single DBMS node,
+	// and bounds each task's deploy fan-out. Zero means unlimited.
+	MaxPerNode int
+	// DrainGrace is how long Close waits for in-flight queries before
+	// abandoning the graceful drain. Zero means DefaultDrainGrace;
+	// negative skips the wait entirely.
+	DrainGrace time.Duration
 	// Wire tunes the middleware's wire transport: connection pool
 	// bounds, the default per-request deadline, and the retry policy for
 	// idempotent probe RPCs. The zero value uses the wire defaults

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"strings"
@@ -264,7 +265,7 @@ type fakeCoster struct {
 	linkFactors map[string]float64
 }
 
-func (f *fakeCoster) CostOperator(node string, kind engine.CostKind, l, r, o float64) (float64, error) {
+func (f *fakeCoster) CostOperator(_ context.Context, node string, kind engine.CostKind, l, r, o float64) (float64, error) {
 	f.rounds++
 	switch kind {
 	case engine.CostJoin:
@@ -310,7 +311,7 @@ func buildAnnotatedPlan(t *testing.T, sql string, opts Options) (Op, *Annotation
 	}
 	root := &Final{In: joined, Sel: canon}
 	coster := &fakeCoster{nodes: []string{"db1", "db2", "db3"}}
-	ann, err := annotate(root, coster, opts)
+	ann, err := annotate(context.Background(), root, coster, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -365,7 +366,7 @@ func TestAnnotateRule3SameNode(t *testing.T) {
 		t.Fatal(err)
 	}
 	coster := &fakeCoster{nodes: []string{"db1", "db2"}}
-	ann, err := annotate(&Final{In: joined, Sel: canon}, coster, Options{})
+	ann, err := annotate(context.Background(), &Final{In: joined, Sel: canon}, coster, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -429,7 +430,7 @@ func TestLinkFactorShiftsPlacement(t *testing.T) {
 		nodes:       []string{"db1", "db2"},
 		linkFactors: map[string]float64{"db1->db2": 100, "db2->db1": 1},
 	}
-	ann, err := annotate(&Final{In: joined, Sel: canon}, coster, Options{})
+	ann, err := annotate(context.Background(), &Final{In: joined, Sel: canon}, coster, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -41,6 +41,11 @@ type System struct {
 	// janitor to retry (see orphans.go).
 	orphans *orphanRegistry
 	sweepMu sync.Mutex
+	// admit is the global admission controller (in-flight cap, wait
+	// queue, drain), nodes the per-node control-plane limiter (see
+	// admission.go).
+	admit *admitter
+	nodes *nodeLimiter
 	// bg tracks background janitor goroutines so Close can wait for them.
 	bg sync.WaitGroup
 
@@ -72,6 +77,8 @@ func NewSystem(middlewareNode, clientNode string, topo *netsim.Topology, opts Op
 		opts:       opts,
 		orphans:    newOrphanRegistry(),
 		calNodes:   map[string]bool{},
+		admit:      newAdmitter(opts.MaxInFlight, opts.MaxQueue),
+		nodes:      newNodeLimiter(opts.MaxPerNode),
 	}
 	s.health = newHealthTracker(opts.BreakerThreshold, opts.BreakerBackoff, s.nodeRecovered)
 	return s
@@ -93,26 +100,48 @@ func (s *System) NodeHealth() map[string]NodeHealth {
 // Options returns the system's optimizer options.
 func (s *System) Options() Options { return s.opts }
 
-// Close waits for background orphan sweeps and releases the middleware's
-// pooled wire connections (the client's execution transport). The
-// registered connectors' clients are owned by whoever created them — the
-// testbed closes those.
+// Close drains the system with the configured grace period (new queries
+// are refused, in-flight ones get DrainGrace to finish, orphans are swept
+// once), waits for background orphan sweeps, and releases the
+// middleware's pooled wire connections (the client's execution
+// transport). The registered connectors' clients are owned by whoever
+// created them — the testbed closes those.
 func (s *System) Close() error {
+	grace := s.opts.DrainGrace
+	if grace == 0 {
+		grace = DefaultDrainGrace
+	}
+	if grace > 0 {
+		ctx, cancel := context.WithTimeout(context.Background(), grace)
+		s.Drain(ctx)
+		cancel()
+	} else {
+		// Negative grace: stop admitting, skip the wait and the sweep.
+		s.admit.startDrain()
+	}
 	s.bg.Wait()
 	return s.clientWire.Close()
 }
 
 // reqCtx returns the context bounding one control-plane RPC (metadata,
-// probe, or DDL round trip), honoring Options.RequestTimeout.
-func (s *System) reqCtx() (context.Context, context.CancelFunc) {
-	if s.opts.RequestTimeout > 0 {
-		return context.WithTimeout(context.Background(), s.opts.RequestTimeout)
+// probe, or DDL round trip): the caller's context, tightened by
+// Options.RequestTimeout. Cancelling the caller's context cancels the
+// RPC.
+func (s *System) reqCtx(ctx context.Context) (context.Context, context.CancelFunc) {
+	if ctx == nil {
+		ctx = context.Background()
 	}
-	return context.Background(), func() {}
+	if s.opts.RequestTimeout > 0 {
+		return context.WithTimeout(ctx, s.opts.RequestTimeout)
+	}
+	return context.WithCancel(ctx)
 }
 
 // cleanupCtx returns the context bounding one DROP during deployment
-// cleanup: CleanupTimeout, falling back to RequestTimeout.
+// cleanup: CleanupTimeout, falling back to RequestTimeout. It is
+// deliberately detached from the query's context — a cancelled query
+// must still drop what it deployed, or every cancellation would park
+// avoidable orphans.
 func (s *System) cleanupCtx() (context.Context, context.CancelFunc) {
 	d := s.opts.CleanupTimeout
 	if d <= 0 {
@@ -166,6 +195,11 @@ type Breakdown struct {
 	DegradedProbes int
 	// DDLCount is the number of DDL statements the delegation deployed.
 	DDLCount int
+	// AdmissionWait is how long the query waited for admission before
+	// planning began (zero when it was admitted immediately); Queued
+	// reports whether it waited in the admission queue at all.
+	AdmissionWait time.Duration
+	Queued        bool
 }
 
 // Total returns the end-to-end time.
@@ -177,8 +211,9 @@ func (b Breakdown) Total() time.Duration {
 // connectors.
 
 // CostOperator implements Coster. An open breaker fails fast without a
-// round trip; actual probe outcomes feed the breaker.
-func (s *System) CostOperator(node string, kind engine.CostKind, left, right, out float64) (float64, error) {
+// round trip; actual probe outcomes feed the breaker. The probe takes one
+// unit of the node's control-plane budget (Options.MaxPerNode).
+func (s *System) CostOperator(ctx context.Context, node string, kind engine.CostKind, left, right, out float64) (float64, error) {
 	c, ok := s.connectors[node]
 	if !ok {
 		return 0, fmt.Errorf("core: cost probe for unknown node %q", node)
@@ -186,9 +221,14 @@ func (s *System) CostOperator(node string, kind engine.CostKind, left, right, ou
 	if err := s.health.allow(node); err != nil {
 		return 0, err
 	}
-	ctx, cancel := s.reqCtx()
+	release, err := s.nodes.acquire(ctx, node, 1)
+	if err != nil {
+		return 0, err
+	}
+	defer release()
+	rctx, cancel := s.reqCtx(ctx)
 	defer cancel()
-	v, err := c.CostOperator(ctx, kind, left, right, out)
+	v, err := c.CostOperator(rctx, kind, left, right, out)
 	s.health.record(node, err)
 	return v, err
 }
@@ -228,7 +268,7 @@ func (s *System) LinkFactor(from, to string) float64 {
 // best-effort per node: a node that is down keeps its identity calibration
 // (1.0) and is retried on later queries, so an outage on one DBMS does not
 // abort queries that never touch it. Failures feed the node's breaker.
-func (s *System) calibrate() error {
+func (s *System) calibrate(ctx context.Context) error {
 	s.calMu.Lock()
 	defer s.calMu.Unlock()
 	if s.calibrated {
@@ -243,8 +283,8 @@ func (s *System) calibrate() error {
 			allOK = false
 			continue
 		}
-		ctx, cancel := s.reqCtx()
-		err := c.Calibrate(ctx)
+		rctx, cancel := s.reqCtx(ctx)
+		err := c.Calibrate(rctx)
 		cancel()
 		s.health.record(name, err)
 		if err != nil {
@@ -257,26 +297,36 @@ func (s *System) calibrate() error {
 	return nil
 }
 
-// Plan runs the optimizer pipeline — preparation, logical optimization,
-// annotation, finalization — and returns the delegation plan without
-// deploying it.
+// Plan is PlanContext with a background context, kept so existing
+// callers compile unchanged.
 func (s *System) Plan(sql string) (*Plan, *Breakdown, error) {
+	return s.PlanContext(context.Background(), sql)
+}
+
+// PlanContext runs the optimizer pipeline — preparation, logical
+// optimization, annotation, finalization — under the caller's context and
+// returns the delegation plan without deploying it. Planning is
+// control-plane only and is not subject to admission control.
+func (s *System) PlanContext(ctx context.Context, sql string) (*Plan, *Breakdown, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	bd := &Breakdown{}
-	plan, err := s.plan(sql, bd)
+	plan, err := s.plan(ctx, sql, bd)
 	return plan, bd, err
 }
 
-func (s *System) plan(sql string, bd *Breakdown) (*Plan, error) {
+func (s *System) plan(ctx context.Context, sql string, bd *Breakdown) (*Plan, error) {
 	// --- Preparation: parse, analyze, gather metadata through the DCs.
 	start := time.Now()
 	sel, err := sqlparser.ParseSelect(sql)
 	if err != nil {
 		return nil, err
 	}
-	if err := s.calibrate(); err != nil {
+	if err := s.calibrate(ctx); err != nil {
 		return nil, err
 	}
-	if err := s.gatherMetadata(sel); err != nil {
+	if err := s.gatherMetadata(ctx, sel); err != nil {
 		return nil, err
 	}
 	b, joinConjs, canon, err := buildLogical(s.catalog, sel)
@@ -297,7 +347,7 @@ func (s *System) plan(sql string, bd *Breakdown) (*Plan, error) {
 
 	// --- Annotation and finalization.
 	start = time.Now()
-	ann, err := annotate(root, s, s.opts)
+	ann, err := annotate(ctx, root, s, s.opts)
 	if err != nil {
 		return nil, err
 	}
@@ -311,7 +361,7 @@ func (s *System) plan(sql string, bd *Breakdown) (*Plan, error) {
 // gatherMetadata fetches schema and statistics for every referenced table,
 // republishing catalog entries immutably so concurrent queries never
 // observe a half-updated entry.
-func (s *System) gatherMetadata(sel *sqlparser.Select) error {
+func (s *System) gatherMetadata(ctx context.Context, sel *sqlparser.Select) error {
 	seen := map[string]bool{}
 	for _, ref := range sel.From {
 		key := strings.ToLower(ref.Name)
@@ -335,8 +385,8 @@ func (s *System) gatherMetadata(sel *sqlparser.Select) error {
 		}
 		updated := &TableInfo{Name: info.Name, Node: info.Node, Schema: info.Schema, Stats: info.Stats}
 		if updated.Schema == nil {
-			ctx, cancel := s.reqCtx()
-			schema, err := conn.TableSchema(ctx, info.Name)
+			rctx, cancel := s.reqCtx(ctx)
+			schema, err := conn.TableSchema(rctx, info.Name)
 			cancel()
 			s.health.record(info.Node, err)
 			if err != nil {
@@ -352,8 +402,8 @@ func (s *System) gatherMetadata(sel *sqlparser.Select) error {
 			}
 		}
 		if refreshStats {
-			ctx, cancel := s.reqCtx()
-			st, err := conn.Stats(ctx, info.Name)
+			rctx, cancel := s.reqCtx(ctx)
+			st, err := conn.Stats(rctx, info.Name)
 			cancel()
 			s.health.record(info.Node, err)
 			if err != nil {
@@ -385,12 +435,42 @@ type Result struct {
 	CleanupErr error
 }
 
-// Query runs the full XDB pipeline: optimize, delegate, hand the XDB query
-// to the client, execute it on the root DBMS (triggering the decentralized
-// cascade), clean up the short-lived relations, and return the result.
+// Query is QueryContext with a background context, kept so existing
+// callers compile unchanged.
 func (s *System) Query(sql string) (*Result, error) {
-	bd := Breakdown{}
-	plan, err := s.plan(sql, &bd)
+	return s.QueryContext(context.Background(), sql)
+}
+
+// QueryContext runs the full XDB pipeline under the caller's context:
+// admission, optimization, delegation, execution of the XDB query on the
+// root DBMS (triggering the decentralized cascade), cleanup of the
+// short-lived relations, and the result. Options.QueryTimeout tightens
+// the context end to end. Cancelling the context aborts planning,
+// delegation, and execution, but never the cleanup — a cancelled query
+// drops what it deployed on a detached context, so cancellation parks no
+// avoidable orphans. Under overload the query may be shed with
+// OverloadError; during shutdown with DrainingError.
+func (s *System) QueryContext(ctx context.Context, sql string) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if s.opts.QueryTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.opts.QueryTimeout)
+		defer cancel()
+	}
+
+	// --- Admission: take an in-flight slot (or queue for one while the
+	// deadline allows).
+	waitStart := time.Now()
+	release, queued, err := s.admit.admit(ctx)
+	if err != nil {
+		return nil, err
+	}
+	defer release()
+
+	bd := Breakdown{AdmissionWait: time.Since(waitStart), Queued: queued}
+	plan, err := s.plan(ctx, sql, &bd)
 	if err != nil {
 		return nil, err
 	}
@@ -398,7 +478,7 @@ func (s *System) Query(sql string) (*Result, error) {
 	// --- Delegation: deploy the plan as DDL.
 	start := time.Now()
 	qid := s.seq.Add(1)
-	dep, err := s.deploy(plan, qid)
+	dep, err := s.deploy(ctx, plan, qid)
 	if err != nil {
 		return nil, err
 	}
@@ -407,14 +487,17 @@ func (s *System) Query(sql string) (*Result, error) {
 
 	// --- Execution: the client runs the XDB query on the root DBMS; data
 	// flows only between DBMSes and, for the final result, to the client.
+	// The caller's context bounds the read, so a hung root DBMS fails the
+	// query instead of parking it forever.
 	start = time.Now()
 	rootConn := s.connectors[dep.Node]
-	res, execErr := s.clientWire.QueryAll(context.Background(), rootConn.Addr, dep.Node, dep.XDBQuery)
+	res, execErr := s.clientWire.QueryAll(ctx, rootConn.Addr, dep.Node, dep.XDBQuery)
 	bd.Exec = time.Since(start)
 
-	// Cleanup regardless of the execution outcome. A failed drop parks
-	// the object in the orphan registry instead of failing an otherwise
-	// successful query — the janitor owns it from here.
+	// Cleanup regardless of the execution outcome, on a detached context
+	// (see cleanupCtx). A failed drop parks the object in the orphan
+	// registry instead of failing an otherwise successful query — the
+	// janitor owns it from here.
 	cleanupErr := s.cleanupDeployment(dep)
 	if execErr != nil {
 		return nil, execErr

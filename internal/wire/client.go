@@ -312,7 +312,7 @@ func (c *Client) QueryEnc(ctx context.Context, addr, toNode, sql string, forceTe
 		c.discard(conn)
 		return nil, nil, err
 	}
-	return schema, &queryIter{c: c, conn: conn, addr: addr, toNode: toNode}, nil
+	return schema, &queryIter{c: c, ctx: ctx, conn: conn, addr: addr, toNode: toNode}, nil
 }
 
 // QueryAll runs a SELECT remotely and materializes the result.
@@ -330,9 +330,13 @@ func (c *Client) QueryAll(ctx context.Context, addr, toNode, sql string) (*engin
 
 // queryIter streams rows from the response frames of one Query. It owns
 // its connection: a clean end of stream parks the connection back in the
-// pool, any mid-stream failure evicts it.
+// pool, any mid-stream failure evicts it. The originating request's
+// context governs the stream: its deadline bounds every frame read (so a
+// hung server fails the read instead of parking the caller forever) and
+// its cancellation aborts the stream.
 type queryIter struct {
 	c      *Client
+	ctx    context.Context
 	conn   net.Conn
 	addr   string
 	toNode string
@@ -355,6 +359,16 @@ func (q *queryIter) Next() (sqltypes.Row, error) {
 		if q.closed {
 			return nil, fmt.Errorf("wire: Next on closed result stream from %s", q.toNode)
 		}
+		if err := q.ctx.Err(); err != nil {
+			// The stream is mid-flight; the connection carries undrained
+			// frames and must be discarded.
+			q.finish(false)
+			return nil, fmt.Errorf("wire: result stream from %s: %w", q.toNode, err)
+		}
+		// Re-arm the deadline per frame: the context's absolute deadline
+		// when it has one, else RequestTimeout as a per-frame liveness
+		// bound.
+		q.c.applyDeadline(q.ctx, q.conn)
 		typ, payload, n, err := readFrame(q.conn)
 		if err == nil {
 			// An injected fault mid-stream severs the result flow; the

@@ -24,6 +24,8 @@
 package xdb
 
 import (
+	"context"
+
 	"xdb/internal/connector"
 	"xdb/internal/core"
 	"xdb/internal/engine"
@@ -99,6 +101,17 @@ type (
 	// Orphan is a short-lived relation whose drop failed, parked for the
 	// janitor (System.Orphans / System.SweepOrphans).
 	Orphan = core.Orphan
+	// OverloadError is returned when admission control sheds a query:
+	// the in-flight cap (Options.MaxInFlight) is reached and the wait
+	// queue is full, or the caller's deadline expired while queued.
+	OverloadError = core.OverloadError
+	// DrainingError is returned for queries submitted while the system
+	// is draining (System.Drain / Close).
+	DrainingError = core.DrainingError
+	// AdmissionStats is a snapshot of the admission controller:
+	// occupancy, shed counters, and high-water marks
+	// (System.AdmissionStats).
+	AdmissionStats = core.AdmissionStats
 )
 
 // Circuit breaker states.
@@ -292,6 +305,25 @@ func (c *Cluster) registerAll(register func(table, node string) error) error {
 // Query optimizes, delegates, and executes a cross-database query.
 func (c *Cluster) Query(sql string) (*Result, error) {
 	return c.tb.System.Query(sql)
+}
+
+// QueryContext is Query under the caller's context: cancellation aborts
+// planning, delegation, and execution (cleanup still runs detached), and
+// Options.QueryTimeout bounds the query end to end. Under overload the
+// query may be shed with OverloadError; during drain with DrainingError.
+func (c *Cluster) QueryContext(ctx context.Context, sql string) (*Result, error) {
+	return c.tb.System.QueryContext(ctx, sql)
+}
+
+// Drain stops admitting queries, waits for the in-flight ones up to the
+// context's deadline, and sweeps orphaned short-lived relations once.
+func (c *Cluster) Drain(ctx context.Context) error {
+	return c.tb.System.Drain(ctx)
+}
+
+// AdmissionStats reports the middleware's admission-control counters.
+func (c *Cluster) AdmissionStats() AdmissionStats {
+	return c.tb.System.AdmissionStats()
 }
 
 // PlanOnly runs the optimizer pipeline without deploying anything.
