@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet bench bench-transport chaos soak check
+.PHONY: build test race vet bench bench-transport bench-obs chaos soak check
 
 build:
 	$(GO) build ./...
@@ -36,5 +36,10 @@ bench:
 # The pooled-vs-per-dial transport A/B (EXPERIMENTS.md "Wire transport").
 bench-transport:
 	$(GO) test -bench='BenchmarkProbe' -benchtime=2000x ./internal/wire/
+
+# The tracing-overhead A/B: warm Q3 with the span tree off vs on
+# (EXPERIMENTS.md "Observability overhead").
+bench-obs:
+	$(GO) test -bench='BenchmarkQueryTracing' -benchtime=200x -count=3 ./internal/core/
 
 check: build vet test

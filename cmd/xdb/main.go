@@ -16,6 +16,9 @@
 //	-plan             print the delegation plan without executing
 //	-system xdb|garlic|presto|sclera  which system executes (default xdb)
 //	-workers <n>      presto worker count (default 4)
+//	-trace            print the query's span tree (xdb system only)
+//	-metrics <addr>   serve Prometheus metrics on addr (e.g. :9090)
+//	-slow <d>         log queries slower than d (e.g. 100ms)
 package main
 
 import (
@@ -36,6 +39,9 @@ func main() {
 	system := flag.String("system", "xdb", "executing system: xdb, garlic, presto, sclera")
 	workers := flag.Int("workers", 4, "presto worker count")
 	bushy := flag.Bool("bushy", false, "allow bushy delegation plans (footnote-5 extension)")
+	trace := flag.Bool("trace", false, "print the query's span tree (xdb system only)")
+	metricsAddr := flag.String("metrics", "", "serve Prometheus metrics on this address (e.g. :9090)")
+	slow := flag.Duration("slow", 0, "log queries slower than this (e.g. 100ms)")
 	flag.Parse()
 
 	if flag.NArg() < 1 {
@@ -59,12 +65,20 @@ func main() {
 	fmt.Fprintf(os.Stderr, "starting %d DBMS nodes, loading TPC-H sf=%g under %s...\n",
 		len(dist.Nodes()), *sf, *td)
 	cluster, err := xdb.NewCluster(dist.Nodes(), xdb.ClusterConfig{
-		Options: xdb.Options{BushyPlans: *bushy},
+		Options: xdb.Options{
+			BushyPlans:         *bushy,
+			Trace:              *trace,
+			MetricsAddr:        *metricsAddr,
+			SlowQueryThreshold: *slow,
+		},
 	})
 	if err != nil {
 		fatal(err)
 	}
 	defer cluster.Close()
+	if addr := cluster.MetricsAddr(); addr != "" {
+		fmt.Fprintf(os.Stderr, "metrics: http://%s/metrics\n", addr)
+	}
 	if err := cluster.LoadTPCH(*td, *sf); err != nil {
 		fatal(err)
 	}
@@ -104,6 +118,10 @@ func main() {
 			bd.Exec.Round(time.Millisecond), bd.ConsultRounds)
 		fmt.Println("delegation plan:")
 		fmt.Print(res.Plan)
+		if *trace && res.Trace != nil {
+			fmt.Println("\ntrace:")
+			fmt.Print(res.Trace.String())
+		}
 	case "garlic", "presto":
 		var m *xdb.MediatorSystem
 		if *system == "garlic" {

@@ -73,6 +73,11 @@ func (c *Connector) Probes() int64 { return c.probes.Load() }
 // same client share one transport, so the counters aggregate across them.
 func (c *Connector) Transport() wire.TransportStats { return c.client.Transport() }
 
+// Client exposes the underlying wire client. System.Stats uses its
+// identity to aggregate transport counters without double-counting
+// connectors that share one client.
+func (c *Connector) Client() *wire.Client { return c.client }
+
 // ResetProbes clears the probe counter (called per query by the breakdown
 // instrumentation).
 func (c *Connector) ResetProbes() { c.probes.Store(0) }

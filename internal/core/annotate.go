@@ -4,8 +4,10 @@ import (
 	"context"
 	"fmt"
 	"math"
+	"time"
 
 	"xdb/internal/engine"
+	"xdb/internal/obs"
 )
 
 // Plan annotation (Sec. IV-B2): a depth-first post-order traversal that
@@ -225,6 +227,28 @@ func (a *Annotation) placeCrossJoin(ctx context.Context, j *Join, coster Coster,
 	if rn != best.node {
 		a.Move[j.R] = best.moveR
 	}
+
+	// One "place" span per Rule-4 decision: the chosen site and the
+	// movement verdict for each input edge.
+	if sp := obs.SpanFrom(ctx); sp != nil {
+		psp := sp.Child("place")
+		psp.Set("node", best.node)
+		if ln != best.node {
+			psp.Set("move_left", moveVerdict(best.moveL))
+		}
+		if rn != best.node {
+			psp.Set("move_right", moveVerdict(best.moveR))
+		}
+		psp.Finish()
+	}
+}
+
+// moveVerdict spells a movement out for trace attributes.
+func moveVerdict(m Movement) string {
+	if m == MoveExplicit {
+		return "explicit"
+	}
+	return "implicit"
 }
 
 // movementCombos enumerates the movement choices for the two sides (local
@@ -282,16 +306,28 @@ func (a *Annotation) joinCostAt(ctx context.Context, coster Coster, cand string,
 // counted in DegradedProbes; only real round trips count as consult
 // rounds.
 func (a *Annotation) probe(ctx context.Context, coster Coster, node string, kind engine.CostKind, left, right, out float64) float64 {
+	sp := obs.SpanFrom(ctx).Child("probe")
+	sp.Set("node", node)
+	sp.Set("kind", string(kind))
 	if !coster.Healthy(node) {
 		a.DegradedProbes++
+		sp.Set("outcome", "degraded_breaker")
+		sp.Finish()
 		return localCost(kind, left, right, out)
 	}
 	a.ConsultRounds++
+	start := time.Now()
 	c, err := coster.CostOperator(ctx, node, kind, left, right, out)
+	observeSeconds(met.probeDur, time.Since(start))
 	if err != nil {
 		a.DegradedProbes++
+		sp.Set("outcome", "degraded_error")
+		sp.SetErr(err)
+		sp.Finish()
 		return localCost(kind, left, right, out)
 	}
+	sp.Set("outcome", "consulted")
+	sp.Finish()
 	return c
 }
 

@@ -205,7 +205,7 @@ func TestChaosKillMidDeployment(t *testing.T) {
 	}
 
 	cl.topo.CrashNode("db2")
-	cerr := cl.sys.cleanupDeployment(dep)
+	cerr := cl.sys.cleanupDeployment(context.Background(), dep)
 	if cerr == nil {
 		t.Fatal("cleanup reported success with db2 crashed")
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"net"
@@ -74,7 +75,7 @@ func TestCleanupSweepsPastHungNode(t *testing.T) {
 		{node: "live", sql: "DROP VIEW xdb1_t2"},
 	}}
 	start := time.Now()
-	err = sys.cleanupDeployment(dep)
+	err = sys.cleanupDeployment(context.Background(), dep)
 	elapsed := time.Since(start)
 	if err == nil {
 		t.Fatal("cleanup reported success despite the hung node")

@@ -3,10 +3,13 @@ package core
 import (
 	"context"
 	"fmt"
+	"strconv"
 	"strings"
 	"sync"
+	"time"
 
 	"xdb/internal/connector"
+	"xdb/internal/obs"
 	"xdb/internal/sqltypes"
 )
 
@@ -102,14 +105,35 @@ func (s *System) deploy(ctx context.Context, plan *Plan, qid int64) (*Deployment
 		// sweep inside cleanupDeployment records them); the deployment
 		// error carries the cleanup outcome instead of silently dropping
 		// it.
-		if cerr := s.cleanupDeployment(dep); cerr != nil {
+		if cerr := s.cleanupDeployment(ctx, dep); cerr != nil {
 			err = fmt.Errorf("%w (cleanup after failure: %v)", err, cerr)
 		}
 		return nil, err
 	}
 	dep.XDBQuery = "SELECT * FROM " + rootView
 	dep.Node = plan.Root.Node
+	met.ddls.Add(int64(dep.DDLCount))
 	return dep, nil
+}
+
+// startDDLSpan opens one "ddl" span (tagged node and statement kind) and
+// returns a closer that records latency — on the span and on the DDL
+// histogram — plus the error outcome. Nil-safe end to end: with tracing
+// off only the histogram observation remains.
+func startDDLSpan(ctx context.Context, node, kind, object string, kv ...string) func(error) {
+	sp := obs.SpanFrom(ctx).Child("ddl")
+	sp.Set("node", node)
+	sp.Set("kind", kind)
+	sp.Set("object", object)
+	for i := 0; i+1 < len(kv); i += 2 {
+		sp.Set(kv[i], kv[i+1])
+	}
+	start := time.Now()
+	return func(err error) {
+		observeSeconds(met.ddlDur, time.Since(start))
+		sp.SetErr(err)
+		sp.Finish()
+	}
 }
 
 // processTask implements PROCESSTASK of Algorithm 1. A task's inputs are
@@ -147,10 +171,12 @@ func (s *System) processTask(ctx context.Context, plan *Plan, t *Task, qid int64
 	if err != nil {
 		return "", fmt.Errorf("core: deploy view %s on %s: %w", viewName, t.Node, err)
 	}
+	done := startDDLSpan(ctx, t.Node, "view", viewName)
 	vctx, vcancel := s.reqCtx(ctx)
 	err = conn.DeployView(vctx, viewName, sel)
 	vcancel()
 	release()
+	done(err)
 	s.health.record(t.Node, err)
 	if err != nil {
 		// The outcome is ambiguous (e.g. the response frame was lost after
@@ -278,10 +304,13 @@ func (s *System) deployForeign(ctx context.Context, conn *connector.Connector, n
 	if err != nil {
 		return fmt.Errorf("core: deploy foreign table %s on %s: %w", ftName, node, err)
 	}
+	done := startDDLSpan(ctx, node, "foreign_table", ftName,
+		"materialize", strconv.FormatBool(materialize))
 	rctx, cancel := s.reqCtx(ctx)
 	err = conn.DeployForeignTable(rctx, ftName, cols, serverName, remote, materialize)
 	cancel()
 	release()
+	done(err)
 	s.health.record(node, err)
 	if err != nil {
 		// Ambiguous outcome: park the drop (IF EXISTS makes it a no-op if
@@ -332,10 +361,12 @@ func (s *System) deployServerOnce(ctx context.Context, dep *Deployment, conn *co
 		if err != nil {
 			return fmt.Errorf("core: deploy server %s on %s: %w", serverName, onNode, err)
 		}
+		done := startDDLSpan(ctx, onNode, "server", serverName)
 		rctx, cancel := s.reqCtx(ctx)
 		err = conn.DeployServer(rctx, serverName, addr, forNode)
 		cancel()
 		release()
+		done(err)
 		s.health.record(onNode, err)
 		if err != nil {
 			return fmt.Errorf("core: deploy server %s on %s: %w", serverName, onNode, err)
@@ -353,12 +384,20 @@ func (s *System) deployServerOnce(ctx context.Context, dep *Deployment, conn *co
 // items are RETAINED — on the deployment (so a direct retry is possible)
 // and in the system's orphan registry, where the janitor retries them on
 // node recovery or an explicit SweepOrphans. The returned error names the
-// node and statement of every failed drop.
-func (s *System) cleanupDeployment(dep *Deployment) error {
+// node and statement of every failed drop. The caller's context is used
+// only to attach the "cleanup" trace span; the drops themselves run on
+// detached per-drop contexts so a cancelled query still cleans up.
+func (s *System) cleanupDeployment(qctx context.Context, dep *Deployment) (err error) {
+	sp := obs.SpanFrom(qctx).Child("cleanup")
 	dep.mu.Lock()
 	items := dep.cleanup
 	dep.cleanup = nil
 	dep.mu.Unlock()
+	defer func() {
+		sp.Set("drops", strconv.Itoa(len(items)))
+		sp.SetErr(err)
+		sp.Finish()
+	}()
 
 	var errs []string
 	var failed []cleanupItem

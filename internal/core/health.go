@@ -141,6 +141,7 @@ func (h *healthTracker) record(node string, err error) {
 		st.consecFails = 0
 		if st.state != BreakerClosed {
 			st.state = BreakerClosed
+			met.breaker.With("closed").Inc()
 			recovered = true
 		}
 	} else {
@@ -152,10 +153,12 @@ func (h *healthTracker) record(node string, err error) {
 			// The probe failed: re-open and restart the backoff window.
 			st.state = BreakerOpen
 			st.openedAt = time.Now()
+			met.breaker.With("open").Inc()
 		case BreakerClosed:
 			if st.consecFails >= h.threshold {
 				st.state = BreakerOpen
 				st.openedAt = time.Now()
+				met.breaker.With("open").Inc()
 			}
 		}
 	}
@@ -180,6 +183,7 @@ func (h *healthTracker) allow(node string) error {
 		return &NodeUnavailableError{Node: node, Until: until}
 	}
 	st.state = BreakerHalfOpen
+	met.breaker.With("half_open").Inc()
 	return nil
 }
 

@@ -1,0 +1,94 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"time"
+
+	"xdb/internal/obs"
+)
+
+// The middleware's process-wide metric set (obs.Default registry). Every
+// System in the process feeds the same series — the registry is the
+// "one pane" complement of the per-query trace: queries by outcome,
+// admission behaviour, consultation and DDL latency distributions, and
+// breaker churn. Wire-level dials/reuses/bytes live in internal/wire's
+// mirror of TransportStats; the exposition handler serves them all.
+var met = struct {
+	queries       *obs.CounterVec // by outcome
+	queryDur      *obs.Histogram
+	admissionWait *obs.Histogram
+	probeDur      *obs.Histogram
+	ddlDur        *obs.Histogram
+	consults      *obs.Counter
+	degraded      *obs.Counter
+	ddls          *obs.Counter
+	breaker       *obs.CounterVec // by entered state
+	orphansParked *obs.Counter
+	orphansSwept  *obs.Counter
+}{
+	queries: obs.Default.CounterVec("xdb_queries_total",
+		"Queries by outcome: ok, error, canceled, shed_overload, shed_timeout, shed_draining.", "outcome"),
+	queryDur: obs.Default.Histogram("xdb_query_duration_seconds",
+		"End-to-end query wall time (admission wait included).", nil),
+	admissionWait: obs.Default.Histogram("xdb_admission_wait_seconds",
+		"Time queries waited for admission before planning began.", nil),
+	probeDur: obs.Default.Histogram("xdb_probe_duration_seconds",
+		"Consultation cost-probe round-trip latency.", nil),
+	ddlDur: obs.Default.Histogram("xdb_ddl_duration_seconds",
+		"Per-statement delegation DDL deployment latency.", nil),
+	consults: obs.Default.Counter("xdb_consult_probes_total",
+		"Consultation round trips issued to the underlying DBMSes."),
+	degraded: obs.Default.Counter("xdb_degraded_probes_total",
+		"Annotation decisions that fell back to the local cost model."),
+	ddls: obs.Default.Counter("xdb_ddl_deployed_total",
+		"DDL statements deployed by delegation."),
+	breaker: obs.Default.CounterVec("xdb_breaker_transitions_total",
+		"Circuit breaker state transitions, labelled by the state entered.", "state"),
+	orphansParked: obs.Default.Counter("xdb_orphans_parked_total",
+		"Short-lived relations parked after a failed drop."),
+	orphansSwept: obs.Default.Counter("xdb_orphans_swept_total",
+		"Parked relations collected by the janitor."),
+}
+
+// queryOutcome maps a QueryContext result to its metrics label.
+func queryOutcome(err error) string {
+	if err == nil {
+		return "ok"
+	}
+	var oe *OverloadError
+	var de *DrainingError
+	switch {
+	case errors.As(err, &de):
+		return "shed_draining"
+	case errors.As(err, &oe):
+		if oe.Reason == "queue full" {
+			return "shed_overload"
+		}
+		return "shed_timeout"
+	case errors.Is(err, context.Canceled):
+		return "canceled"
+	default:
+		return "error"
+	}
+}
+
+// registerSystemGauges publishes the System's live occupancy as
+// gather-time gauges. Re-registration replaces the previous System's
+// closures (latest wins), matching the registry's process-wide scope.
+func registerSystemGauges(s *System) {
+	obs.Default.GaugeFunc("xdb_inflight_queries",
+		"Queries currently admitted and executing.",
+		func() int64 { return int64(s.admit.snapshot().InFlight) })
+	obs.Default.GaugeFunc("xdb_queued_queries",
+		"Queries waiting in the admission queue.",
+		func() int64 { return int64(s.admit.snapshot().Queued) })
+	obs.Default.GaugeFunc("xdb_orphans_pending",
+		"Short-lived relations currently parked for the janitor.",
+		func() int64 { return int64(s.orphans.count()) })
+}
+
+// observeSeconds records a duration on a histogram.
+func observeSeconds(h *obs.Histogram, d time.Duration) {
+	h.Observe(d.Seconds())
+}

@@ -1,0 +1,63 @@
+package core
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+// TestMetricsEndpoint boots a cluster with the metrics listener enabled,
+// runs a query, and scrapes the endpoint: the exposition must be valid
+// Prometheus text carrying the query-lifecycle series.
+func TestMetricsEndpoint(t *testing.T) {
+	opts := chaosOptions()
+	opts.MetricsAddr = "127.0.0.1:0"
+	cl := newChaosCluster(t, opts)
+
+	addr := cl.sys.MetricsAddr()
+	if addr == "" {
+		t.Fatal("MetricsAddr empty: listener did not start")
+	}
+	if _, err := cl.sys.Query(chaosQuery); err != nil {
+		t.Fatal(err)
+	}
+
+	resp, err := http.Get(fmt.Sprintf("http://%s/metrics", addr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /metrics: %s", resp.Status)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(body)
+	for _, want := range []string{
+		"# TYPE xdb_queries_total counter",
+		`xdb_queries_total{outcome="ok"}`,
+		"# TYPE xdb_query_duration_seconds histogram",
+		"xdb_query_duration_seconds_bucket{le=\"+Inf\"}",
+		"xdb_query_duration_seconds_count",
+		"xdb_ddl_deployed_total",
+		"xdb_wire_dials_total",
+		"# TYPE xdb_inflight_queries gauge",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("exposition missing %q", want)
+		}
+	}
+	// Every line is a comment or `name{labels} value` — no stray output.
+	for _, line := range strings.Split(strings.TrimRight(text, "\n"), "\n") {
+		if strings.HasPrefix(line, "#") || line == "" {
+			continue
+		}
+		if fields := strings.Fields(line); len(fields) != 2 {
+			t.Errorf("malformed sample line %q", line)
+		}
+	}
+}

@@ -1,0 +1,48 @@
+package core_test
+
+import (
+	"testing"
+
+	"xdb/internal/core"
+	"xdb/internal/engine"
+	"xdb/internal/testbed"
+	"xdb/internal/tpch"
+)
+
+// The tracing-overhead A/B (EXPERIMENTS.md "Observability overhead"):
+// warm Q3 runs end to end with the span tree disabled vs enabled. The
+// disabled path must stay within the noise floor — instrumentation is
+// nil-receiver no-ops — and the enabled path's cost is a few dozen
+// small allocations per query.
+func benchObsQuery(b *testing.B, opts core.Options) {
+	tb, err := testbed.NewTPCH("TD1", 0.002, testbed.Config{
+		DefaultVendor: engine.VendorTest,
+		Options:       opts,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer tb.Close()
+	tb.System.CacheStats = true
+	if _, err := tb.System.Query(tpch.Queries["Q3"]); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := tb.System.Query(tpch.Queries["Q3"]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkQueryTracingOff: the default configuration — no span is
+// created and every obs call is a nil no-op.
+func BenchmarkQueryTracingOff(b *testing.B) {
+	benchObsQuery(b, core.Options{})
+}
+
+// BenchmarkQueryTracingOn: Options.Trace builds the full span tree
+// (phases, probes, DDLs, cleanup) on every query.
+func BenchmarkQueryTracingOn(b *testing.B) {
+	benchObsQuery(b, core.Options{Trace: true})
+}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"log/slog"
 	"strings"
 	"time"
 
@@ -86,6 +87,26 @@ type Options struct {
 	// abandoning the graceful drain. Zero means DefaultDrainGrace;
 	// negative skips the wait entirely.
 	DrainGrace time.Duration
+
+	// Trace records a span tree for every query — admission wait, each
+	// optimizer phase, every consultation probe, every deployed DDL
+	// statement, the execution stream, and the cleanup sweep — exposed
+	// as Result.Trace. Off (the default), the instrumentation is a
+	// nil-receiver no-op and the hot path allocates nothing for it.
+	Trace bool
+	// SlowQueryThreshold emits one structured (slog) record for every
+	// query whose wall time meets the threshold, carrying the phase
+	// breakdown, the delegation plan shape, and the span summary.
+	// Setting it implies per-query tracing. Zero disables the log.
+	SlowQueryThreshold time.Duration
+	// SlowQueryLogger receives slow-query records; nil means
+	// slog.Default().
+	SlowQueryLogger *slog.Logger
+	// MetricsAddr, when non-empty, serves the process-wide metrics
+	// registry in Prometheus text format on this listen address
+	// (GET /metrics and /) for the System's lifetime. Use "127.0.0.1:0"
+	// to pick a free port; System.MetricsAddr reports the bound one.
+	MetricsAddr string
 	// Wire tunes the middleware's wire transport: connection pool
 	// bounds, the default per-request deadline, and the retry policy for
 	// idempotent probe RPCs. The zero value uses the wire defaults

@@ -55,6 +55,7 @@ func (r *orphanRegistry) add(node, sql, errMsg string) {
 		o.Attempts++
 		return
 	}
+	met.orphansParked.Inc()
 	r.items[key] = &Orphan{Node: node, SQL: sql, LastErr: errMsg, Since: time.Now(), Attempts: 1}
 }
 
@@ -124,6 +125,7 @@ func (s *System) sweepOrphans(node string) (dropped, remaining int, err error) {
 			continue
 		}
 		s.orphans.remove(o.Node, o.SQL)
+		met.orphansSwept.Inc()
 		dropped++
 	}
 	if len(errs) > 0 {

@@ -24,6 +24,10 @@ func soakOptions() Options {
 	opts.MaxInFlight = 4
 	opts.MaxQueue = 8
 	opts.MaxPerNode = 2
+	// Tracing on: the soak runs double as the race check for concurrent
+	// span construction (sibling DDL spans finish from the deploy
+	// fan-out's goroutines).
+	opts.Trace = true
 	return opts
 }
 

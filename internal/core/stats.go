@@ -1,0 +1,53 @@
+package core
+
+import (
+	"xdb/internal/wire"
+)
+
+// SystemStats is one coherent snapshot of the middleware's operational
+// state: admission occupancy and shed counters, every node's breaker
+// health, the aggregated wire transport counters, and the orphans still
+// parked for the janitor. It is the pull-based complement of the
+// process-wide metrics registry — the same state, but scoped to this
+// System and taken at one instant.
+type SystemStats struct {
+	// Admission is the admission controller's occupancy and shed
+	// counters.
+	Admission AdmissionStats
+	// Nodes is each registered DBMS's breaker health, keyed by node.
+	Nodes map[string]NodeHealth
+	// Transport aggregates the wire clients' connection counters.
+	// Connectors sharing one client (the usual middleware deployment)
+	// are counted once.
+	Transport wire.TransportStats
+	// Orphans lists the short-lived relations whose drops failed and
+	// await the janitor.
+	Orphans []Orphan
+}
+
+// Stats returns one coherent snapshot of the system's operational state.
+// The sections are gathered back to back, not under one global lock, so
+// cross-section arithmetic on a busy system is approximate.
+func (s *System) Stats() SystemStats {
+	st := SystemStats{
+		Admission: s.admit.snapshot(),
+		Nodes:     s.health.snapshot(),
+		Orphans:   s.orphans.snapshot(""),
+	}
+	// Ensure every registered node appears even before its first RPC.
+	for node := range s.connectors {
+		if _, ok := st.Nodes[node]; !ok {
+			st.Nodes[node] = NodeHealth{Node: node}
+		}
+	}
+	seen := map[*wire.Client]bool{}
+	for _, conn := range s.connectors {
+		cl := conn.Client()
+		if cl == nil || seen[cl] {
+			continue
+		}
+		seen[cl] = true
+		st.Transport = st.Transport.Add(cl.Transport())
+	}
+	return st
+}

@@ -3,6 +3,10 @@ package core
 import (
 	"context"
 	"fmt"
+	"log/slog"
+	"net"
+	"net/http"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -11,6 +15,7 @@ import (
 	"xdb/internal/connector"
 	"xdb/internal/engine"
 	"xdb/internal/netsim"
+	"xdb/internal/obs"
 	"xdb/internal/sqlparser"
 	"xdb/internal/wire"
 )
@@ -48,6 +53,10 @@ type System struct {
 	nodes *nodeLimiter
 	// bg tracks background janitor goroutines so Close can wait for them.
 	bg sync.WaitGroup
+	// metricsLn/metricsSrv serve the process-wide metrics registry when
+	// Options.MetricsAddr is set (see startMetricsServer).
+	metricsLn  net.Listener
+	metricsSrv *http.Server
 
 	seq        atomic.Int64
 	calibrated bool
@@ -81,7 +90,53 @@ func NewSystem(middlewareNode, clientNode string, topo *netsim.Topology, opts Op
 		nodes:      newNodeLimiter(opts.MaxPerNode),
 	}
 	s.health = newHealthTracker(opts.BreakerThreshold, opts.BreakerBackoff, s.nodeRecovered)
+	registerSystemGauges(s)
+	s.startMetricsServer()
 	return s
+}
+
+// startMetricsServer serves obs.Default in Prometheus text format on
+// Options.MetricsAddr for the System's lifetime. Best-effort: a listen
+// failure is logged, not fatal — observability must never take the
+// middleware down.
+func (s *System) startMetricsServer() {
+	if s.opts.MetricsAddr == "" {
+		return
+	}
+	ln, err := net.Listen("tcp", s.opts.MetricsAddr)
+	if err != nil {
+		s.slogger().Warn("xdb: metrics listener failed", "addr", s.opts.MetricsAddr, "err", err)
+		return
+	}
+	s.metricsLn = ln
+	mux := http.NewServeMux()
+	mux.Handle("/", obs.Default.Handler())
+	mux.Handle("/metrics", obs.Default.Handler())
+	srv := &http.Server{Handler: mux}
+	s.metricsSrv = srv
+	s.bg.Add(1)
+	go func() {
+		defer s.bg.Done()
+		srv.Serve(ln) // returns once the listener closes
+	}()
+}
+
+// MetricsAddr returns the metrics endpoint's bound address ("" when no
+// listener is serving) — with Options.MetricsAddr "127.0.0.1:0" this is
+// how callers learn the picked port.
+func (s *System) MetricsAddr() string {
+	if s.metricsLn == nil {
+		return ""
+	}
+	return s.metricsLn.Addr().String()
+}
+
+// slogger returns the structured logger for slow-query records.
+func (s *System) slogger() *slog.Logger {
+	if s.opts.SlowQueryLogger != nil {
+		return s.opts.SlowQueryLogger
+	}
+	return slog.Default()
 }
 
 // NodeHealth returns every registered node's breaker state and failure
@@ -118,6 +173,9 @@ func (s *System) Close() error {
 	} else {
 		// Negative grace: stop admitting, skip the wait and the sweep.
 		s.admit.startDrain()
+	}
+	if s.metricsSrv != nil {
+		s.metricsSrv.Close() // unblocks Serve; bg.Wait collects it
 	}
 	s.bg.Wait()
 	return s.clientWire.Close()
@@ -202,8 +260,17 @@ type Breakdown struct {
 	Queued        bool
 }
 
-// Total returns the end-to-end time.
+// Total returns the end-to-end time, admission wait included — a queued
+// query's Total matches its wall time, not just the time it spent being
+// planned and executed. Use Work for the processing share alone.
 func (b Breakdown) Total() time.Duration {
+	return b.AdmissionWait + b.Work()
+}
+
+// Work returns the time the middleware actively spent on the query
+// (planning, delegation, execution), excluding the admission wait — the
+// Fig. 15 phase sum.
+func (b Breakdown) Work() time.Duration {
 	return b.Prep + b.Lopt + b.Ann + b.Deleg + b.Exec
 }
 
@@ -319,17 +386,26 @@ func (s *System) PlanContext(ctx context.Context, sql string) (*Plan, *Breakdown
 func (s *System) plan(ctx context.Context, sql string, bd *Breakdown) (*Plan, error) {
 	// --- Preparation: parse, analyze, gather metadata through the DCs.
 	start := time.Now()
+	pctx, prepSpan := obs.Start(ctx, "prep")
 	sel, err := sqlparser.ParseSelect(sql)
 	if err != nil {
+		prepSpan.SetErr(err)
+		prepSpan.Finish()
 		return nil, err
 	}
-	if err := s.calibrate(ctx); err != nil {
+	if err := s.calibrate(pctx); err != nil {
+		prepSpan.SetErr(err)
+		prepSpan.Finish()
 		return nil, err
 	}
-	if err := s.gatherMetadata(ctx, sel); err != nil {
+	if err := s.gatherMetadata(pctx, sel); err != nil {
+		prepSpan.SetErr(err)
+		prepSpan.Finish()
 		return nil, err
 	}
 	b, joinConjs, canon, err := buildLogical(s.catalog, sel)
+	prepSpan.SetErr(err)
+	prepSpan.Finish()
 	if err != nil {
 		return nil, err
 	}
@@ -338,7 +414,10 @@ func (s *System) plan(ctx context.Context, sql string, bd *Breakdown) (*Plan, er
 	// --- Logical optimization: pushdowns happened during build; order
 	// the joins.
 	start = time.Now()
+	_, loptSpan := obs.Start(ctx, "lopt")
 	joined, err := orderJoins(b, joinConjs, s.opts)
+	loptSpan.SetErr(err)
+	loptSpan.Finish()
 	if err != nil {
 		return nil, err
 	}
@@ -347,14 +426,24 @@ func (s *System) plan(ctx context.Context, sql string, bd *Breakdown) (*Plan, er
 
 	// --- Annotation and finalization.
 	start = time.Now()
-	ann, err := annotate(ctx, root, s, s.opts)
+	actx, annSpan := obs.Start(ctx, "annotate")
+	ann, err := annotate(actx, root, s, s.opts)
 	if err != nil {
+		annSpan.SetErr(err)
+		annSpan.Finish()
 		return nil, err
 	}
+	annSpan.Set("consult_rounds", strconv.Itoa(ann.ConsultRounds))
+	if ann.DegradedProbes > 0 {
+		annSpan.Set("degraded", strconv.Itoa(ann.DegradedProbes))
+	}
+	annSpan.Finish()
 	plan := finalize(root, ann, collectColTypes(b))
 	bd.Ann = time.Since(start)
 	bd.ConsultRounds = ann.ConsultRounds
 	bd.DegradedProbes = ann.DegradedProbes
+	met.consults.Add(int64(ann.ConsultRounds))
+	met.degraded.Add(int64(ann.DegradedProbes))
 	return plan, nil
 }
 
@@ -376,11 +465,16 @@ func (s *System) gatherMetadata(ctx context.Context, sel *sqlparser.Select) erro
 		if s.CacheStats && info.Schema != nil && info.Stats != nil {
 			continue // fully cached entry
 		}
+		mdSpan := obs.SpanFrom(ctx).Child("metadata")
+		mdSpan.Set("table", info.Name)
+		mdSpan.Set("node", info.Node)
 		conn := s.connectors[info.Node]
 		// The table's home must answer — a query referencing it cannot
 		// degrade around the node that holds its rows. An open breaker
 		// fails fast instead of burning a timeout.
 		if err := s.health.allow(info.Node); err != nil {
+			mdSpan.SetErr(err)
+			mdSpan.Finish()
 			return err
 		}
 		updated := &TableInfo{Name: info.Name, Node: info.Node, Schema: info.Schema, Stats: info.Stats}
@@ -390,6 +484,8 @@ func (s *System) gatherMetadata(ctx context.Context, sel *sqlparser.Select) erro
 			cancel()
 			s.health.record(info.Node, err)
 			if err != nil {
+				mdSpan.SetErr(err)
+				mdSpan.Finish()
 				return err
 			}
 			updated.Schema = schema
@@ -407,6 +503,8 @@ func (s *System) gatherMetadata(ctx context.Context, sel *sqlparser.Select) erro
 			cancel()
 			s.health.record(info.Node, err)
 			if err != nil {
+				mdSpan.SetErr(err)
+				mdSpan.Finish()
 				return err
 			}
 			updated.Stats = st
@@ -415,6 +513,7 @@ func (s *System) gatherMetadata(ctx context.Context, sel *sqlparser.Select) erro
 			}
 		}
 		s.catalog.Put(updated)
+		mdSpan.Finish()
 	}
 	return nil
 }
@@ -433,6 +532,11 @@ type Result struct {
 	// orphan registry (System.Orphans) for the janitor to retry. The
 	// query itself still succeeded.
 	CleanupErr error
+	// Trace is the query's finished span tree when tracing was on
+	// (Options.Trace, Options.SlowQueryThreshold, or a span carried on
+	// the caller's context); nil otherwise. Render it with
+	// Trace.String() or export it with Trace.JSON().
+	Trace *obs.Span
 }
 
 // Query is QueryContext with a background context, kept so existing
@@ -450,7 +554,7 @@ func (s *System) Query(sql string) (*Result, error) {
 // drops what it deployed on a detached context, so cancellation parks no
 // avoidable orphans. Under overload the query may be shed with
 // OverloadError; during shutdown with DrainingError.
-func (s *System) QueryContext(ctx context.Context, sql string) (*Result, error) {
+func (s *System) QueryContext(ctx context.Context, sql string) (res *Result, err error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
@@ -460,25 +564,67 @@ func (s *System) QueryContext(ctx context.Context, sql string) (*Result, error) 
 		defer cancel()
 	}
 
+	// --- Tracing: a root span per query when enabled — by Options, by
+	// the slow-query log (which needs the tree to summarize), or by a
+	// span the caller put on the context (obs.ContextWithSpan). Off, the
+	// span stays nil and every instrumentation point below is a no-op.
+	var qspan *obs.Span
+	if parent := obs.SpanFrom(ctx); parent != nil {
+		qspan = parent.Child("query")
+	} else if s.opts.Trace || s.opts.SlowQueryThreshold > 0 {
+		qspan = obs.NewSpan("query")
+	}
+	var bd Breakdown
+	wallStart := time.Now()
+	if qspan != nil {
+		qspan.Set("sql", truncateSQL(sql))
+		ctx = obs.ContextWithSpan(ctx, qspan)
+		// However the query ends, the exposed tree is closed — a
+		// cancelled deployment must not leave orphan open spans.
+		defer qspan.FinishAll()
+	}
+	var plan *Plan
+	defer func() {
+		wall := time.Since(wallStart)
+		met.queries.With(queryOutcome(err)).Inc()
+		observeSeconds(met.queryDur, wall)
+		qspan.SetErr(err)
+		s.logSlowQuery(sql, wall, &bd, plan, qspan, err)
+	}()
+
 	// --- Admission: take an in-flight slot (or queue for one while the
 	// deadline allows).
 	waitStart := time.Now()
+	admSpan := qspan.Child("admission")
 	release, queued, err := s.admit.admit(ctx)
+	wait := time.Since(waitStart)
+	observeSeconds(met.admissionWait, wait)
+	if queued {
+		admSpan.Set("queued", "true")
+	}
+	admSpan.SetErr(err)
+	admSpan.Finish()
 	if err != nil {
 		return nil, err
 	}
 	defer release()
 
-	bd := Breakdown{AdmissionWait: time.Since(waitStart), Queued: queued}
-	plan, err := s.plan(ctx, sql, &bd)
+	bd = Breakdown{AdmissionWait: wait, Queued: queued}
+	plan, err = s.plan(ctx, sql, &bd)
 	if err != nil {
 		return nil, err
 	}
 
 	// --- Delegation: deploy the plan as DDL.
 	start := time.Now()
+	dctx, delegSpan := obs.Start(ctx, "delegate")
 	qid := s.seq.Add(1)
-	dep, err := s.deploy(ctx, plan, qid)
+	dep, err := s.deploy(dctx, plan, qid)
+	delegSpan.SetErr(err)
+	if dep != nil {
+		delegSpan.Set("ddls", strconv.Itoa(dep.DDLCount))
+	}
+	delegSpan.Finish()
 	if err != nil {
 		return nil, err
 	}
@@ -490,24 +636,89 @@ func (s *System) QueryContext(ctx context.Context, sql string) (*Result, error) 
 	// The caller's context bounds the read, so a hung root DBMS fails the
 	// query instead of parking it forever.
 	start = time.Now()
+	execSpan := qspan.Child("execute")
+	execSpan.Set("node", dep.Node)
 	rootConn := s.connectors[dep.Node]
-	res, execErr := s.clientWire.QueryAll(ctx, rootConn.Addr, dep.Node, dep.XDBQuery)
+	eres, execErr := s.clientWire.QueryAll(ctx, rootConn.Addr, dep.Node, dep.XDBQuery)
+	if eres != nil {
+		execSpan.AddRows(int64(len(eres.Rows)))
+	}
+	execSpan.SetErr(execErr)
+	execSpan.Finish()
 	bd.Exec = time.Since(start)
 
 	// Cleanup regardless of the execution outcome, on a detached context
 	// (see cleanupCtx). A failed drop parks the object in the orphan
 	// registry instead of failing an otherwise successful query — the
 	// janitor owns it from here.
-	cleanupErr := s.cleanupDeployment(dep)
+	cleanupErr := s.cleanupDeployment(ctx, dep)
 	if execErr != nil {
 		return nil, execErr
 	}
 	return &Result{
-		Result:     res,
+		Result:     eres,
 		Plan:       plan,
 		Breakdown:  bd,
 		XDBQuery:   dep.XDBQuery,
 		RootNode:   dep.Node,
 		CleanupErr: cleanupErr,
+		Trace:      qspan,
 	}, nil
+}
+
+// truncateSQL bounds the SQL text attached to spans and log records.
+func truncateSQL(sql string) string {
+	const max = 200
+	if len(sql) <= max {
+		return sql
+	}
+	return sql[:max] + "..."
+}
+
+// logSlowQuery emits one structured record for a query whose wall time
+// met Options.SlowQueryThreshold: the phase breakdown, the delegation
+// plan shape, and the span summary in one line.
+func (s *System) logSlowQuery(sql string, wall time.Duration, bd *Breakdown, plan *Plan, trace *obs.Span, err error) {
+	if s.opts.SlowQueryThreshold <= 0 || wall < s.opts.SlowQueryThreshold {
+		return
+	}
+	attrs := []any{
+		"wall", wall,
+		"sql", truncateSQL(sql),
+		"admission_wait", bd.AdmissionWait,
+		"queued", bd.Queued,
+		"prep", bd.Prep,
+		"lopt", bd.Lopt,
+		"annotate", bd.Ann,
+		"delegate", bd.Deleg,
+		"execute", bd.Exec,
+		"consult_rounds", bd.ConsultRounds,
+		"ddl_count", bd.DDLCount,
+	}
+	if bd.DegradedProbes > 0 {
+		attrs = append(attrs, "degraded_probes", bd.DegradedProbes)
+	}
+	if plan != nil {
+		attrs = append(attrs, "plan", planShape(plan))
+	}
+	if trace != nil {
+		attrs = append(attrs, "spans", trace.Count(""),
+			"probe_spans", trace.Count("probe"), "ddl_spans", trace.Count("ddl"))
+	}
+	if err != nil {
+		attrs = append(attrs, "err", err.Error())
+	}
+	s.slogger().Warn("xdb: slow query", attrs...)
+}
+
+// planShape renders the delegation plan's shape in one token: task
+// count, the root's node, and the movement split, e.g.
+// "tasks=5 root=db1 moves=3i/1e".
+func planShape(p *Plan) string {
+	implicit, explicit := p.Movements()
+	root := ""
+	if p.Root != nil {
+		root = p.Root.Node
+	}
+	return fmt.Sprintf("tasks=%d root=%s moves=%di/%de", len(p.Tasks), root, implicit, explicit)
 }

@@ -1,0 +1,39 @@
+package obs
+
+import "context"
+
+type ctxKey struct{}
+
+// ContextWithSpan returns a context carrying the span as the current
+// trace position. A nil span returns ctx unchanged, so the disabled
+// path allocates no context node.
+func ContextWithSpan(ctx context.Context, s *Span) context.Context {
+	if s == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, ctxKey{}, s)
+}
+
+// SpanFrom returns the context's current span, or nil when the query is
+// not being traced. The nil result composes with every Span method, so
+// call sites never branch.
+func SpanFrom(ctx context.Context) *Span {
+	if ctx == nil {
+		return nil
+	}
+	s, _ := ctx.Value(ctxKey{}).(*Span)
+	return s
+}
+
+// Start opens a child of the context's current span and returns a
+// context positioned on it. When the context carries no span, it
+// returns ctx unchanged and a nil span — the allocation-free disabled
+// path.
+func Start(ctx context.Context, name string) (context.Context, *Span) {
+	parent := SpanFrom(ctx)
+	if parent == nil {
+		return ctx, nil
+	}
+	sp := parent.Child(name)
+	return context.WithValue(ctx, ctxKey{}, sp), sp
+}

@@ -1,0 +1,400 @@
+package obs
+
+import (
+	"fmt"
+	"math"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// The metrics registry: process-wide counters, gauges, and histograms
+// with a Gather snapshot API and a Prometheus-text-format exposition
+// handler. Registration is idempotent — asking for an existing name of
+// the same type returns the same instrument, so independent subsystems
+// (and repeated System constructions in tests) share one set of
+// process-wide series.
+
+// DefBuckets are the default latency histogram bounds, in seconds:
+// exponential from 100µs to 10s, sized for control-plane RPCs on the
+// simulated topology.
+var DefBuckets = []float64{
+	0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005,
+	0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+}
+
+// Counter is a monotonically increasing metric.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter; negative deltas are ignored.
+func (c *Counter) Add(n int64) {
+	if c == nil || n <= 0 {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// CounterVec is a counter family partitioned by one label.
+type CounterVec struct {
+	label string
+
+	mu       sync.Mutex
+	children map[string]*Counter
+}
+
+// With returns (creating on first use) the child counter for the label
+// value.
+func (v *CounterVec) With(value string) *Counter {
+	if v == nil {
+		return nil
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	c, ok := v.children[value]
+	if !ok {
+		c = &Counter{}
+		v.children[value] = c
+	}
+	return c
+}
+
+// snapshot returns the children sorted by label value.
+func (v *CounterVec) snapshot() []Sample {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	out := make([]Sample, 0, len(v.children))
+	for val, c := range v.children {
+		out = append(out, Sample{Label: v.label, LabelValue: val, Value: float64(c.Value())})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].LabelValue < out[j].LabelValue })
+	return out
+}
+
+// Gauge is a metric that can go up and down. GaugeFunc variants are
+// evaluated at gather time, which is how externally-owned counters
+// (e.g. a wire client's pool occupancy) fold into the registry.
+type Gauge struct {
+	v  atomic.Int64
+	fn func() int64
+}
+
+// Set stores the gauge value (ignored on a func-backed gauge).
+func (g *Gauge) Set(n int64) {
+	if g == nil || g.fn != nil {
+		return
+	}
+	g.v.Store(n)
+}
+
+// Add adjusts the gauge by a (possibly negative) delta.
+func (g *Gauge) Add(n int64) {
+	if g == nil || g.fn != nil {
+		return
+	}
+	g.v.Add(n)
+}
+
+// Value returns the current gauge value.
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	if g.fn != nil {
+		return g.fn()
+	}
+	return g.v.Load()
+}
+
+// Histogram is a fixed-bucket latency/size distribution. Observations
+// are lock-free atomic adds.
+type Histogram struct {
+	bounds []float64 // upper bounds, ascending; +Inf implicit
+	counts []atomic.Int64
+	count  atomic.Int64
+	sum    atomic.Uint64 // float64 bits, CAS-updated
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		newv := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, newv) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of observed values.
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return math.Float64frombits(h.sum.Load())
+}
+
+// Buckets returns the cumulative bucket counts aligned with Bounds()
+// plus a final +Inf bucket.
+func (h *Histogram) Buckets() (bounds []float64, cumulative []int64) {
+	if h == nil {
+		return nil, nil
+	}
+	bounds = append([]float64(nil), h.bounds...)
+	cumulative = make([]int64, len(h.counts))
+	var run int64
+	for i := range h.counts {
+		run += h.counts[i].Load()
+		cumulative[i] = run
+	}
+	return bounds, cumulative
+}
+
+// MetricType tags a family in Gather output.
+type MetricType int
+
+// Metric family types.
+const (
+	TypeCounter MetricType = iota
+	TypeGauge
+	TypeHistogram
+)
+
+func (t MetricType) String() string {
+	switch t {
+	case TypeGauge:
+		return "gauge"
+	case TypeHistogram:
+		return "histogram"
+	default:
+		return "counter"
+	}
+}
+
+// Sample is one series of a gathered family.
+type Sample struct {
+	// Label/LabelValue identify the series within the family; empty for
+	// unlabelled metrics.
+	Label, LabelValue string
+	// Value is the counter/gauge value (unused for histograms).
+	Value float64
+	// Histogram carries the distribution for histogram families.
+	Histogram *Histogram
+}
+
+// Family is one gathered metric family.
+type Family struct {
+	Name    string
+	Help    string
+	Type    MetricType
+	Samples []Sample
+}
+
+// metric is one registered instrument.
+type metric struct {
+	name string
+	help string
+	typ  MetricType
+
+	counter *Counter
+	vec     *CounterVec
+	gauge   *Gauge
+	hist    *Histogram
+}
+
+// Registry holds registered instruments. The zero value is not usable;
+// use NewRegistry or the package-level Default.
+type Registry struct {
+	mu      sync.Mutex
+	metrics map[string]*metric
+	order   []string
+}
+
+// Default is the process-wide registry every subsystem registers into.
+var Default = NewRegistry()
+
+// NewRegistry returns an empty registry (tests; production code uses
+// Default).
+func NewRegistry() *Registry {
+	return &Registry{metrics: map[string]*metric{}}
+}
+
+func (r *Registry) lookup(name, help string, typ MetricType) *metric {
+	m, ok := r.metrics[name]
+	if ok {
+		if m.typ != typ {
+			panic(fmt.Sprintf("obs: metric %q re-registered as %v (was %v)", name, typ, m.typ))
+		}
+		return m
+	}
+	m = &metric{name: name, help: help, typ: typ}
+	r.metrics[name] = m
+	r.order = append(r.order, name)
+	return m
+}
+
+// Counter registers (or returns the existing) counter.
+func (r *Registry) Counter(name, help string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	m := r.lookup(name, help, TypeCounter)
+	if m.counter == nil {
+		m.counter = &Counter{}
+	}
+	return m.counter
+}
+
+// CounterVec registers (or returns the existing) one-label counter
+// family.
+func (r *Registry) CounterVec(name, help, label string) *CounterVec {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	m := r.lookup(name, help, TypeCounter)
+	if m.vec == nil {
+		m.vec = &CounterVec{label: label, children: map[string]*Counter{}}
+	}
+	return m.vec
+}
+
+// Gauge registers (or returns the existing) settable gauge.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	m := r.lookup(name, help, TypeGauge)
+	if m.gauge == nil {
+		m.gauge = &Gauge{}
+	}
+	return m.gauge
+}
+
+// GaugeFunc registers a gauge evaluated at gather time. Re-registering
+// an existing name replaces the function (latest System wins), so
+// rebuilt systems in one process do not accumulate dead closures.
+func (r *Registry) GaugeFunc(name, help string, fn func() int64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	m := r.lookup(name, help, TypeGauge)
+	m.gauge = &Gauge{fn: fn}
+}
+
+// Histogram registers (or returns the existing) histogram. nil buckets
+// mean DefBuckets.
+func (r *Registry) Histogram(name, help string, buckets []float64) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	m := r.lookup(name, help, TypeHistogram)
+	if m.hist == nil {
+		if buckets == nil {
+			buckets = DefBuckets
+		}
+		h := &Histogram{bounds: append([]float64(nil), buckets...)}
+		h.counts = make([]atomic.Int64, len(h.bounds)+1)
+		m.hist = h
+	}
+	return m.hist
+}
+
+// Gather snapshots every registered family in registration order.
+func (r *Registry) Gather() []Family {
+	r.mu.Lock()
+	names := append([]string(nil), r.order...)
+	metrics := make([]*metric, len(names))
+	for i, n := range names {
+		metrics[i] = r.metrics[n]
+	}
+	r.mu.Unlock()
+
+	out := make([]Family, 0, len(metrics))
+	for _, m := range metrics {
+		f := Family{Name: m.name, Help: m.help, Type: m.typ}
+		switch {
+		case m.vec != nil:
+			f.Samples = m.vec.snapshot()
+			if m.counter != nil {
+				f.Samples = append(f.Samples, Sample{Value: float64(m.counter.Value())})
+			}
+		case m.counter != nil:
+			f.Samples = []Sample{{Value: float64(m.counter.Value())}}
+		case m.gauge != nil:
+			f.Samples = []Sample{{Value: float64(m.gauge.Value())}}
+		case m.hist != nil:
+			f.Samples = []Sample{{Histogram: m.hist}}
+		}
+		out = append(out, f)
+	}
+	return out
+}
+
+// WritePrometheus renders the registry in the Prometheus text exposition
+// format (version 0.0.4).
+func (r *Registry) WritePrometheus(w *strings.Builder) {
+	for _, f := range r.Gather() {
+		fmt.Fprintf(w, "# HELP %s %s\n", f.Name, escapeHelp(f.Help))
+		fmt.Fprintf(w, "# TYPE %s %s\n", f.Name, f.Type)
+		for _, s := range f.Samples {
+			switch {
+			case s.Histogram != nil:
+				bounds, cum := s.Histogram.Buckets()
+				for i, b := range bounds {
+					fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", f.Name, formatFloat(b), cum[i])
+				}
+				total := s.Histogram.Count()
+				fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", f.Name, total)
+				fmt.Fprintf(w, "%s_sum %s\n", f.Name, formatFloat(s.Histogram.Sum()))
+				fmt.Fprintf(w, "%s_count %d\n", f.Name, total)
+			case s.Label != "":
+				fmt.Fprintf(w, "%s{%s=%q} %s\n", f.Name, s.Label, s.LabelValue, formatFloat(s.Value))
+			default:
+				fmt.Fprintf(w, "%s %s\n", f.Name, formatFloat(s.Value))
+			}
+		}
+	}
+}
+
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// Handler serves the registry in Prometheus text format.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		var b strings.Builder
+		r.WritePrometheus(&b)
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		w.Write([]byte(b.String()))
+	})
+}

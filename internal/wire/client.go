@@ -40,6 +40,7 @@ type Client struct {
 	closed bool
 
 	dials, reuses, retries, timeouts, evictions, closes atomic.Int64
+	bytesSent, bytesRecv                                atomic.Int64
 }
 
 // NewClient returns a client for the given source node with the default
@@ -64,6 +65,13 @@ func NewClientWith(fromNode string, topo *netsim.Topology, cfg ClientConfig) *Cl
 // connection): the caller must treat it as a transport failure and discard
 // the connection.
 func (c *Client) account(to string, n int, inbound bool) error {
+	if inbound {
+		c.bytesRecv.Add(int64(n))
+		met.bytesRecv.Add(int64(n))
+	} else {
+		c.bytesSent.Add(int64(n))
+		met.bytesSent.Add(int64(n))
+	}
 	if c.Topo == nil {
 		return nil
 	}
@@ -104,7 +112,7 @@ func (c *Client) sendRequest(ctx context.Context, addr, toNode string, reqType b
 				return nil, 0, nil, lastErr
 			}
 			attempt++
-			c.retries.Add(1)
+			c.noteRetry()
 			if c.backoff(ctx, attempt) != nil {
 				return nil, 0, nil, lastErr
 			}
@@ -122,7 +130,7 @@ func (c *Client) sendRequest(ctx context.Context, addr, toNode string, reqType b
 		if err != nil {
 			c.discard(conn)
 			if isTimeout(err) {
-				c.timeouts.Add(1)
+				c.noteTimeout()
 				return nil, 0, nil, deadlineErr(toNode, err)
 			}
 			lastErr = fmt.Errorf("wire: send to %s: %w", toNode, err)
@@ -131,12 +139,12 @@ func (c *Client) sendRequest(ctx context.Context, addr, toNode string, reqType b
 			// once regardless of idempotence.
 			if reused && !staleRedial {
 				staleRedial = true
-				c.retries.Add(1)
+				c.noteRetry()
 				continue
 			}
 			if idempotent && attempt < c.cfg.MaxRetries {
 				attempt++
-				c.retries.Add(1)
+				c.noteRetry()
 				if c.backoff(ctx, attempt) != nil {
 					return nil, 0, nil, lastErr
 				}
@@ -155,7 +163,7 @@ func (c *Client) sendRequest(ctx context.Context, addr, toNode string, reqType b
 		if err != nil {
 			c.discard(conn)
 			if isTimeout(err) {
-				c.timeouts.Add(1)
+				c.noteTimeout()
 				return nil, 0, nil, deadlineErr(toNode, err)
 			}
 			lastErr = fmt.Errorf("wire: response from %s: %w", toNode, err)
@@ -164,12 +172,12 @@ func (c *Client) sendRequest(ctx context.Context, addr, toNode string, reqType b
 			if idempotent {
 				if reused && !staleRedial {
 					staleRedial = true
-					c.retries.Add(1)
+					c.noteRetry()
 					continue
 				}
 				if attempt < c.cfg.MaxRetries {
 					attempt++
-					c.retries.Add(1)
+					c.noteRetry()
 					if c.backoff(ctx, attempt) != nil {
 						return nil, 0, nil, lastErr
 					}
@@ -378,7 +386,7 @@ func (q *queryIter) Next() (sqltypes.Row, error) {
 		if err != nil {
 			q.finish(false)
 			if isTimeout(err) {
-				q.c.timeouts.Add(1)
+				q.c.noteTimeout()
 				return nil, deadlineErr(q.toNode, err)
 			}
 			return nil, fmt.Errorf("wire: result stream from %s: %w", q.toNode, err)

@@ -1,0 +1,21 @@
+package wire
+
+import "xdb/internal/obs"
+
+// Process-wide transport metrics, the registry complement of the
+// per-client TransportStats snapshot: every Client folds its dials,
+// reuses, retries, timeouts, and frame bytes into these series, so the
+// metrics endpoint sees the whole process's wire activity without
+// enumerating clients.
+var met = struct {
+	dials, reuses, retries, timeouts, evictions *obs.Counter
+	bytesSent, bytesRecv                        *obs.Counter
+}{
+	dials:     obs.Default.Counter("xdb_wire_dials_total", "Fresh TCP connections established."),
+	reuses:    obs.Default.Counter("xdb_wire_reuses_total", "Requests served over a pooled connection."),
+	retries:   obs.Default.Counter("xdb_wire_retries_total", "Request re-attempts after transport failures."),
+	timeouts:  obs.Default.Counter("xdb_wire_timeouts_total", "Requests that hit their deadline."),
+	evictions: obs.Default.Counter("xdb_wire_evictions_total", "Connections discarded as broken or expired."),
+	bytesSent: obs.Default.Counter("xdb_wire_bytes_sent_total", "Request frame bytes written."),
+	bytesRecv: obs.Default.Counter("xdb_wire_bytes_received_total", "Response frame bytes read."),
+}

@@ -86,11 +86,41 @@ type TransportStats struct {
 	// Closes counts connections closed for any reason; with no leaks,
 	// Dials == Closes once the client is closed.
 	Closes int64
+	// BytesSent and BytesReceived count request/response frame bytes
+	// (headers included), whether or not a topology charges them.
+	BytesSent, BytesReceived int64
 }
 
 func (s TransportStats) String() string {
-	return fmt.Sprintf("dials=%d reuses=%d retries=%d timeouts=%d evictions=%d closes=%d",
-		s.Dials, s.Reuses, s.Retries, s.Timeouts, s.Evictions, s.Closes)
+	return fmt.Sprintf("dials=%d reuses=%d retries=%d timeouts=%d evictions=%d closes=%d sent=%dB recv=%dB",
+		s.Dials, s.Reuses, s.Retries, s.Timeouts, s.Evictions, s.Closes, s.BytesSent, s.BytesReceived)
+}
+
+// Add returns the field-wise sum of two snapshots — System.Stats uses it
+// to aggregate the middleware's clients into one transport view.
+func (s TransportStats) Add(o TransportStats) TransportStats {
+	return TransportStats{
+		Dials:         s.Dials + o.Dials,
+		Reuses:        s.Reuses + o.Reuses,
+		Retries:       s.Retries + o.Retries,
+		Timeouts:      s.Timeouts + o.Timeouts,
+		Evictions:     s.Evictions + o.Evictions,
+		Closes:        s.Closes + o.Closes,
+		BytesSent:     s.BytesSent + o.BytesSent,
+		BytesReceived: s.BytesReceived + o.BytesReceived,
+	}
+}
+
+// noteRetry and noteTimeout bump the per-client counter and its
+// process-wide metrics mirror together.
+func (c *Client) noteRetry() {
+	c.retries.Add(1)
+	met.retries.Inc()
+}
+
+func (c *Client) noteTimeout() {
+	c.timeouts.Add(1)
+	met.timeouts.Inc()
 }
 
 // idleConn is one pooled connection with its park time.
@@ -117,12 +147,14 @@ func (c *Client) getConn(ctx context.Context, addr, toNode string) (net.Conn, bo
 			if now.Sub(ic.since) > c.cfg.IdleTimeout {
 				// Expired while parked: reap it and keep looking.
 				c.evictions.Add(1)
+				met.evictions.Inc()
 				c.closes.Add(1)
 				ic.conn.Close()
 				continue
 			}
 			c.mu.Unlock()
 			c.reuses.Add(1)
+			met.reuses.Inc()
 			return ic.conn, true, nil
 		}
 		c.mu.Unlock()
@@ -133,6 +165,7 @@ func (c *Client) getConn(ctx context.Context, addr, toNode string) (net.Conn, bo
 		return nil, false, fmt.Errorf("wire: dial %s: %w", addr, err)
 	}
 	c.dials.Add(1)
+	met.dials.Inc()
 	if c.Topo != nil {
 		// Fresh connections pay the link's handshake round trip; reused
 		// ones skip it (and frame traffic is charged identically either
@@ -168,6 +201,7 @@ func (c *Client) putConn(addr string, conn net.Conn) {
 // to the pool.
 func (c *Client) discard(conn net.Conn) {
 	c.evictions.Add(1)
+	met.evictions.Inc()
 	c.closes.Add(1)
 	conn.Close()
 }
@@ -192,12 +226,14 @@ func (c *Client) Close() error {
 // Transport returns a snapshot of the client's transport counters.
 func (c *Client) Transport() TransportStats {
 	return TransportStats{
-		Dials:     c.dials.Load(),
-		Reuses:    c.reuses.Load(),
-		Retries:   c.retries.Load(),
-		Timeouts:  c.timeouts.Load(),
-		Evictions: c.evictions.Load(),
-		Closes:    c.closes.Load(),
+		Dials:         c.dials.Load(),
+		Reuses:        c.reuses.Load(),
+		Retries:       c.retries.Load(),
+		Timeouts:      c.timeouts.Load(),
+		Evictions:     c.evictions.Load(),
+		Closes:        c.closes.Load(),
+		BytesSent:     c.bytesSent.Load(),
+		BytesReceived: c.bytesRecv.Load(),
 	}
 }
 

@@ -25,12 +25,14 @@ package xdb
 
 import (
 	"context"
+	"net/http"
 
 	"xdb/internal/connector"
 	"xdb/internal/core"
 	"xdb/internal/engine"
 	"xdb/internal/mediator"
 	"xdb/internal/netsim"
+	"xdb/internal/obs"
 	"xdb/internal/sclera"
 	"xdb/internal/sqltypes"
 	"xdb/internal/testbed"
@@ -112,7 +114,24 @@ type (
 	// occupancy, shed counters, and high-water marks
 	// (System.AdmissionStats).
 	AdmissionStats = core.AdmissionStats
+	// SystemStats is one coherent snapshot of the middleware's
+	// operational state: admission, per-node health, aggregated
+	// transport counters, and pending orphans (System.Stats).
+	SystemStats = core.SystemStats
+	// Span is one timed node of a query's trace tree (Result.Trace when
+	// Options.Trace is set): flame-style String(), JSON export, and
+	// per-phase attributes. See internal/obs.
+	Span = obs.Span
+	// SpanJSON is the exported JSON shape of a trace span.
+	SpanJSON = obs.SpanJSON
 )
+
+// MetricsHandler returns an http.Handler serving the process-wide metrics
+// registry in Prometheus text format — every series the middleware
+// records (queries, admission, probes, DDL, breakers, wire transport).
+// Options.MetricsAddr serves the same handler on its own listener; use
+// this to mount it on an existing mux instead.
+func MetricsHandler() http.Handler { return obs.Default.Handler() }
 
 // Circuit breaker states.
 const (
@@ -325,6 +344,15 @@ func (c *Cluster) Drain(ctx context.Context) error {
 func (c *Cluster) AdmissionStats() AdmissionStats {
 	return c.tb.System.AdmissionStats()
 }
+
+// Stats returns one coherent snapshot of the middleware's operational
+// state: admission, per-node breaker health, aggregated wire transport
+// counters, and orphans pending collection.
+func (c *Cluster) Stats() SystemStats { return c.tb.System.Stats() }
+
+// MetricsAddr returns the address of the middleware's metrics listener
+// ("" unless Options.MetricsAddr was set and the listener started).
+func (c *Cluster) MetricsAddr() string { return c.tb.System.MetricsAddr() }
 
 // PlanOnly runs the optimizer pipeline without deploying anything.
 func (c *Cluster) PlanOnly(sql string) (*Plan, *Breakdown, error) {
