@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet bench bench-transport bench-obs chaos soak check
+.PHONY: build test race vet bench bench-transport bench-obs bench-annotate chaos soak check
 
 build:
 	$(GO) build ./...
@@ -41,5 +41,11 @@ bench-transport:
 # (EXPERIMENTS.md "Observability overhead").
 bench-obs:
 	$(GO) test -bench='BenchmarkQueryTracing' -benchtime=200x -count=3 ./internal/core/
+
+# The consultation A/B: serial vs parallel annotation and cold vs warm
+# consult cache at real network speed (EXPERIMENTS.md "Consultation
+# latency").
+bench-annotate:
+	$(GO) test -run '^$$' -bench='BenchmarkAnnotate' -benchtime=50x -count=1 ./internal/core/
 
 check: build vet test

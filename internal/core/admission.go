@@ -407,6 +407,35 @@ func (l *nodeLimiter) acquire(ctx context.Context, node string, w int) (func(), 
 	return sem.acquire(ctx, w)
 }
 
+// fanOutFirstErr runs fn(ctx, i) for every i in [0, n) concurrently and
+// waits for all of them. The first error cancels the shared context so
+// siblings stop early, and is the error returned. Sibling failures
+// induced by that cancellation surface as context.Canceled, which the
+// health tracker already treats as a non-signal.
+func fanOutFirstErr(ctx context.Context, n int, fn func(ctx context.Context, i int) error) error {
+	fctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	var (
+		wg       sync.WaitGroup
+		once     sync.Once
+		firstErr error
+	)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if err := fn(fctx, i); err != nil {
+				once.Do(func() {
+					firstErr = err
+					cancel()
+				})
+			}
+		}(i)
+	}
+	wg.Wait()
+	return firstErr
+}
+
 // Drain stops admitting queries (new ones fail with DrainingError and
 // queued waiters are rejected), waits for the in-flight ones up to the
 // context's deadline, and then sweeps orphaned short-lived relations

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"math"
+	"sync"
 	"time"
 
 	"xdb/internal/engine"
@@ -69,12 +70,45 @@ type Annotation struct {
 	// DBMS: placement candidates excluded because their breaker is open,
 	// and cost probes that failed and fell back to the local model.
 	DegradedProbes int
+	// CachedProbes counts the probes answered without a round trip: by
+	// the per-decision memo (one Rule-4 decision never issues the same
+	// probe twice) or by the cross-query consult cache
+	// (Options.ConsultCacheTTL).
+	CachedProbes int
+
+	// mu guards the counters above during the parallel Rule-4 candidate
+	// fan-out; reads after annotate returns need no lock.
+	mu sync.Mutex
+	// cache is the Coster's cross-query consult cache, when it maintains
+	// one (nil for test fakes and when ConsultCacheTTL is 0).
+	cache consultCacher
+}
+
+func (a *Annotation) addConsult() {
+	a.mu.Lock()
+	a.ConsultRounds++
+	a.mu.Unlock()
+}
+
+func (a *Annotation) addDegraded(n int) {
+	a.mu.Lock()
+	a.DegradedProbes += n
+	a.mu.Unlock()
+}
+
+func (a *Annotation) addCached() {
+	a.mu.Lock()
+	a.CachedProbes++
+	a.mu.Unlock()
 }
 
 // annotate runs the annotation pass over the logical plan. The context
 // bounds the consultation probes; cancellation aborts the pass.
 func annotate(ctx context.Context, root Op, coster Coster, opts Options) (*Annotation, error) {
 	a := &Annotation{Node: map[Op]string{}, Move: map[Op]Movement{}}
+	if cc, ok := coster.(consultCacher); ok {
+		a.cache = cc
+	}
 	if err := a.visit(ctx, root, coster, opts); err != nil {
 		return nil, err
 	}
@@ -146,77 +180,37 @@ func (a *Annotation) placeCrossJoin(ctx context.Context, j *Join, coster Coster,
 		}
 	}
 	if n := len(candidates) - len(healthy); n > 0 && len(healthy) > 0 {
-		a.DegradedProbes += n
+		a.addDegraded(n)
 		candidates = healthy
 	}
 
-	type decision struct {
-		node  string
-		moveL Movement
-		moveR Movement
-		cost  float64
+	// Price every candidate site. The evaluations are independent (each
+	// consults its own node), so they fan out concurrently — the
+	// consultation round trips overlap instead of queueing behind one
+	// another; Options.SerialAnnotation restores the paper's sequential
+	// order for A/B runs. Decisions land in candidate order and the
+	// reduction below keeps the serial tie-break (first strictly cheaper
+	// wins), so the chosen plan is identical either way.
+	decisions := make([]placeDecision, len(candidates))
+	if opts.SerialAnnotation || len(candidates) < 2 {
+		for i, cand := range candidates {
+			decisions[i] = a.evalCandidate(ctx, j, coster, opts, cand, ln, rn)
+		}
+	} else {
+		var wg sync.WaitGroup
+		for i, cand := range candidates {
+			wg.Add(1)
+			go func(i int, cand string) {
+				defer wg.Done()
+				decisions[i] = a.evalCandidate(ctx, j, coster, opts, cand, ln, rn)
+			}(i, cand)
+		}
+		wg.Wait()
 	}
-	var best *decision
-	for _, cand := range candidates {
-		d := decision{node: cand, moveL: MoveImplicit, moveR: MoveImplicit}
-		var total float64
-
-		// Determine per-child movement and the resulting join input
-		// arrangement at the candidate.
-		type side struct {
-			op     Op
-			from   string
-			move   Movement
-			local  bool
-			stream bool
-		}
-		sides := [2]side{
-			{op: j.L, from: ln},
-			{op: j.R, from: rn},
-		}
-		for i := range sides {
-			s := &sides[i]
-			s.local = s.from == cand
-			if s.local {
-				s.move = MoveImplicit
-				continue
-			}
-			mv := moveCost(s.op, coster.LinkFactor(s.from, cand))
-			// Both movements pay the move itself (Eqs. 2 and 3); the
-			// movement-combination comparison below adds the explicit
-			// variant's materialization costs and settles the choice
-			// (or applies ForceMovement).
-			s.move = MoveImplicit
-			s.stream = true
-			total += mv
-		}
-
-		// Join cost at the candidate under each movement combination of
-		// the remote sides; pick the cheapest combination.
-		bestJoin := math.Inf(1)
-		var bestMoves [2]Movement
-		combos := movementCombos(sides[0].local, sides[1].local, opts.ForceMovement)
-		for _, combo := range combos {
-			jc, extra := a.joinCostAt(ctx, coster, cand, j, sides[0].op, sides[1].op, combo[0] == MoveImplicit && !sides[0].local, combo[1] == MoveImplicit && !sides[1].local)
-			// Explicit sides pay the materialization write plus the scan
-			// of the stored copy (Eq. 3's scanCost term; the write is the
-			// same volume).
-			for i, mv := range combo {
-				if !sides[i].local && mv == MoveExplicit {
-					extra += 2 * a.probe(ctx, coster, cand, engine.CostScan, sides[i].op.Est(), 0, 0)
-				}
-			}
-			if jc+extra < bestJoin {
-				bestJoin = jc + extra
-				bestMoves = combo
-			}
-		}
-		total += bestJoin
-		d.moveL, d.moveR = bestMoves[0], bestMoves[1]
-		d.cost = total
-		if best == nil || d.cost < best.cost {
-			b := d
-			best = &b
+	best := &decisions[0]
+	for i := 1; i < len(decisions); i++ {
+		if decisions[i].cost < best.cost {
+			best = &decisions[i]
 		}
 	}
 
@@ -241,6 +235,71 @@ func (a *Annotation) placeCrossJoin(ctx context.Context, j *Join, coster Coster,
 		}
 		psp.Finish()
 	}
+}
+
+// placeDecision is one candidate site's priced outcome of a Rule-4
+// decision.
+type placeDecision struct {
+	node  string
+	moveL Movement
+	moveR Movement
+	cost  float64
+}
+
+// evalCandidate prices one candidate site of a Rule-4 decision: movement
+// costs for the remote inputs plus the cheapest movement combination's
+// join cost at the candidate. The memo dedupes probes within the decision
+// — movement combinations share scan and stream-join consultations, and
+// issuing each once is both correct and one fewer round trip.
+func (a *Annotation) evalCandidate(ctx context.Context, j *Join, coster Coster, opts Options, cand, ln, rn string) placeDecision {
+	memo := map[consultKey]float64{}
+	d := placeDecision{node: cand, moveL: MoveImplicit, moveR: MoveImplicit}
+	var total float64
+
+	// Determine which inputs arrive from a remote DBMS; both movements
+	// pay the move itself (Eqs. 2 and 3), while the movement-combination
+	// comparison below adds the explicit variant's materialization costs
+	// and settles the choice (or applies ForceMovement).
+	type side struct {
+		op    Op
+		from  string
+		local bool
+	}
+	sides := [2]side{
+		{op: j.L, from: ln},
+		{op: j.R, from: rn},
+	}
+	for i := range sides {
+		s := &sides[i]
+		s.local = s.from == cand
+		if !s.local {
+			total += moveCost(s.op, coster.LinkFactor(s.from, cand))
+		}
+	}
+
+	// Join cost at the candidate under each movement combination of the
+	// remote sides; pick the cheapest combination.
+	bestJoin := math.Inf(1)
+	var bestMoves [2]Movement
+	for _, combo := range movementCombos(sides[0].local, sides[1].local, opts.ForceMovement) {
+		jc := a.joinCostAt(ctx, coster, memo, cand, j, sides[0].op, sides[1].op, combo[0] == MoveImplicit && !sides[0].local, combo[1] == MoveImplicit && !sides[1].local)
+		// Explicit sides pay the materialization write plus the scan of
+		// the stored copy (Eq. 3's scanCost term; the write is the same
+		// volume).
+		for i, mv := range combo {
+			if !sides[i].local && mv == MoveExplicit {
+				jc += 2 * a.probe(ctx, coster, memo, cand, engine.CostScan, sides[i].op.Est(), 0, 0)
+			}
+		}
+		if jc < bestJoin {
+			bestJoin = jc
+			bestMoves = combo
+		}
+	}
+	total += bestJoin
+	d.moveL, d.moveR = bestMoves[0], bestMoves[1]
+	d.cost = total
+	return d
 }
 
 // moveVerdict spells a movement out for trace attributes.
@@ -274,7 +333,7 @@ func movementCombos(lLocal, rLocal bool, force Movement) [][2]Movement {
 
 // joinCostAt consults the candidate DBMS for the join cost given which
 // inputs arrive as streams.
-func (a *Annotation) joinCostAt(ctx context.Context, coster Coster, cand string, j *Join, l, r Op, lStream, rStream bool) (float64, float64) {
+func (a *Annotation) joinCostAt(ctx context.Context, coster Coster, memo map[consultKey]float64, cand string, j *Join, l, r Op, lStream, rStream bool) float64 {
 	out := j.Est()
 	var kind engine.CostKind
 	var left, right float64
@@ -296,7 +355,7 @@ func (a *Annotation) joinCostAt(ctx context.Context, coster Coster, cand string,
 	default:
 		kind, left, right = engine.CostJoin, l.Est(), r.Est()
 	}
-	return a.probe(ctx, coster, cand, kind, left, right, out), 0
+	return a.probe(ctx, coster, memo, cand, kind, left, right, out)
 }
 
 // probe consults one DBMS for an operator cost, falling back to the local
@@ -304,27 +363,62 @@ func (a *Annotation) joinCostAt(ctx context.Context, coster Coster, cand string,
 // breaker must degrade the estimate, not abort the plan (the middleware
 // owns failure handling for the engines it coordinates). Fallbacks are
 // counted in DegradedProbes; only real round trips count as consult
-// rounds.
-func (a *Annotation) probe(ctx context.Context, coster Coster, node string, kind engine.CostKind, left, right, out float64) float64 {
+// rounds. Before spending a round trip, the probe is served from the
+// per-decision memo (exact-argument dedupe, always on) and then from the
+// cross-query consult cache (Options.ConsultCacheTTL); both count in
+// CachedProbes with span outcome=cached. Failed probes memoize their
+// local fallback within the decision — re-asking a node that just failed
+// would only burn another round trip — but never reach the shared cache.
+func (a *Annotation) probe(ctx context.Context, coster Coster, memo map[consultKey]float64, node string, kind engine.CostKind, left, right, out float64) float64 {
 	sp := obs.SpanFrom(ctx).Child("probe")
 	sp.Set("node", node)
 	sp.Set("kind", string(kind))
 	if !coster.Healthy(node) {
-		a.DegradedProbes++
+		a.addDegraded(1)
 		sp.Set("outcome", "degraded_breaker")
 		sp.Finish()
 		return localCost(kind, left, right, out)
 	}
-	a.ConsultRounds++
+	key := consultKey{node: node, kind: kind, left: left, right: right, out: out}
+	if memo != nil {
+		if v, ok := memo[key]; ok {
+			a.addCached()
+			sp.Set("outcome", "cached")
+			sp.Finish()
+			return v
+		}
+	}
+	if a.cache != nil {
+		if v, ok := a.cache.LookupCost(node, kind, left, right, out); ok {
+			if memo != nil {
+				memo[key] = v
+			}
+			a.addCached()
+			sp.Set("outcome", "cached")
+			sp.Finish()
+			return v
+		}
+	}
+	a.addConsult()
 	start := time.Now()
 	c, err := coster.CostOperator(ctx, node, kind, left, right, out)
 	observeSeconds(met.probeDur, time.Since(start))
 	if err != nil {
-		a.DegradedProbes++
+		a.addDegraded(1)
+		c = localCost(kind, left, right, out)
+		if memo != nil {
+			memo[key] = c
+		}
 		sp.Set("outcome", "degraded_error")
 		sp.SetErr(err)
 		sp.Finish()
-		return localCost(kind, left, right, out)
+		return c
+	}
+	if memo != nil {
+		memo[key] = c
+	}
+	if a.cache != nil {
+		a.cache.StoreCost(node, kind, left, right, out, c)
 	}
 	sp.Set("outcome", "consulted")
 	sp.Finish()

@@ -1,0 +1,81 @@
+package core
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"xdb/internal/sqltypes"
+)
+
+// benchQuery joins three tables homed on three DBMSes — two Rule-4
+// decisions, the consultation-heavy shape of Fig. 15.
+const benchQuery = `SELECT u.u_name, o.o_id FROM users u, orders o, items i
+	WHERE u.u_id = o.o_uid AND o.o_id = i.i_oid`
+
+// loadItems adds a third table on db3 so the bench plan crosses all three
+// DBMSes.
+func loadItems(tb testing.TB, cl *chaosCluster) {
+	tb.Helper()
+	items := sqltypes.NewSchema(
+		sqltypes.Column{Name: "i_id", Type: sqltypes.TypeInt},
+		sqltypes.Column{Name: "i_oid", Type: sqltypes.TypeInt},
+	)
+	var rows []sqltypes.Row
+	for i := 0; i < 200; i++ {
+		rows = append(rows, sqltypes.Row{
+			sqltypes.NewInt(int64(i)), sqltypes.NewInt(int64(i % 400)),
+		})
+	}
+	if err := cl.engines["db3"].LoadTable("items", items, rows); err != nil {
+		tb.Fatal(err)
+	}
+	if err := cl.sys.RegisterTable("items", "db3"); err != nil {
+		tb.Fatal(err)
+	}
+}
+
+// BenchmarkAnnotate measures the planning path (no deployment) on the
+// chaos cluster at real network speed (TimeScale=1), isolating what the
+// consultation phase costs:
+//
+//   - serial-cold:   the paper's sequential consultation, no cache;
+//   - parallel-cold: metadata and Rule-4 candidate fan-out, no cache;
+//   - parallel-warm: fan-out plus the cross-query consult cache — after
+//     the first iteration every probe is a cache hit, so the annotation
+//     phase issues zero round trips.
+//
+// Run via `make bench-annotate`; EXPERIMENTS.md records the numbers.
+func BenchmarkAnnotate(b *testing.B) {
+	variants := []struct {
+		name string
+		tune func(*Options)
+	}{
+		{"serial-cold", func(o *Options) { o.SerialAnnotation = true }},
+		{"parallel-cold", func(o *Options) {}},
+		{"parallel-warm", func(o *Options) { o.ConsultCacheTTL = time.Hour }},
+	}
+	for _, v := range variants {
+		b.Run(v.name, func(b *testing.B) {
+			opts := chaosOptions()
+			v.tune(&opts)
+			cl := newChaosCluster(b, opts)
+			cl.topo.TimeScale = 1 // real shaping delays: round trips cost wall time
+			loadItems(b, cl)
+			// Statistics cached across iterations: the timed region is
+			// annotation (plus a cached-catalog preparation), so the
+			// serial/parallel/warm deltas are consultation round trips.
+			cl.sys.CacheStats = true
+			if _, _, err := cl.sys.Plan(benchQuery); err != nil {
+				b.Fatal(err) // warm: calibration, catalog, pools, (cache)
+			}
+			ctx := context.Background()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := cl.sys.PlanContext(ctx, benchQuery); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

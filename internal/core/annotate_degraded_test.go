@@ -22,14 +22,22 @@ type degradedCoster struct {
 func (d *degradedCoster) Healthy(node string) bool { return !d.unhealthy[node] }
 
 func (d *degradedCoster) CostOperator(ctx context.Context, node string, kind engine.CostKind, l, r, o float64) (float64, error) {
+	d.mu.Lock()
 	if d.probes == nil {
 		d.probes = map[string]int{}
 	}
 	d.probes[node]++
+	d.mu.Unlock()
 	if d.erroring[node] {
 		return 0, fmt.Errorf("probe to %s failed", node)
 	}
 	return d.fakeCoster.CostOperator(ctx, node, kind, l, r, o)
+}
+
+func (d *degradedCoster) probesTo(node string) int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.probes[node]
 }
 
 // TestAnnotateDegraded exercises the degraded-planning paths: annotation
@@ -133,8 +141,8 @@ func TestAnnotateDegraded(t *testing.T) {
 				t.Errorf("DegradedProbes = %d, want 0", ann.DegradedProbes)
 			}
 			for _, n := range tc.forbidProbes {
-				if coster.probes[n] != 0 {
-					t.Errorf("node %s received %d probes, want 0", n, coster.probes[n])
+				if got := coster.probesTo(n); got != 0 {
+					t.Errorf("node %s received %d probes, want 0", n, got)
 				}
 			}
 			if tc.wantConsults && ann.ConsultRounds == 0 {

@@ -47,7 +47,7 @@ func chaosSite(node string) netsim.Site {
 	}
 }
 
-func newChaosCluster(t *testing.T, opts Options) *chaosCluster {
+func newChaosCluster(t testing.TB, opts Options) *chaosCluster {
 	t.Helper()
 	topo := netsim.NewTopology()
 	dbNodes := []string{"db1", "db2", "db3"}

@@ -60,7 +60,7 @@ func selectivity(pred sqlparser.Expr, s *Scan) float64 {
 		case sqlparser.OpAnd:
 			return clamp01(selectivity(x.L, s) * selectivity(x.R, s))
 		case sqlparser.OpOr:
-			return clamp01(selectivity(x.L, s) + selectivity(x.R, s))
+			return orSelectivity(selectivity(x.L, s), selectivity(x.R, s))
 		case sqlparser.OpEq:
 			if cs := columnStats(x.L, s); cs != nil && cs.Distinct > 0 {
 				return 1 / float64(cs.Distinct)
@@ -233,7 +233,7 @@ func exprSelectivity(e sqlparser.Expr) float64 {
 		case sqlparser.OpAnd:
 			return clamp01(exprSelectivity(x.L) * exprSelectivity(x.R))
 		case sqlparser.OpOr:
-			return clamp01(exprSelectivity(x.L) + exprSelectivity(x.R))
+			return orSelectivity(exprSelectivity(x.L), exprSelectivity(x.R))
 		case sqlparser.OpEq:
 			return 0.05
 		case sqlparser.OpNe:
@@ -267,6 +267,16 @@ func exprSelectivity(e sqlparser.Expr) float64 {
 	default:
 		return 0.5
 	}
+}
+
+// orSelectivity combines two disjunct selectivities with the textbook
+// independence formula s1 + s2 − s1·s2 ([42]). Plain addition saturates —
+// two 0.6-selective disjuncts would estimate the whole table and distort
+// join ordering — while inclusion-exclusion stays strictly below 1 for
+// non-certain inputs.
+func orSelectivity(s1, s2 float64) float64 {
+	s1, s2 = clamp01(s1), clamp01(s2)
+	return clamp01(s1 + s2 - s1*s2)
 }
 
 func clamp01(f float64) float64 {

@@ -95,6 +95,12 @@ type healthTracker struct {
 	// onRecover fires (outside the lock) when a node's breaker closes
 	// after having been open or half-open.
 	onRecover func(node string)
+	// onTransition fires (outside the lock) on every breaker state
+	// change, entering the given state. The System hooks it to drop the
+	// node's consult-cache entries — costs consulted before an outage
+	// say nothing about the node after it. Set before first use; not
+	// synchronized.
+	onTransition func(node string, entered BreakerState)
 
 	mu    sync.Mutex
 	nodes map[string]*nodeHealthState
@@ -133,7 +139,8 @@ func (h *healthTracker) record(node string, err error) {
 	if err != nil && errors.Is(err, context.Canceled) {
 		return
 	}
-	var recovered bool
+	var recovered, transitioned bool
+	var entered BreakerState
 	h.mu.Lock()
 	st := h.state(node)
 	if err == nil {
@@ -143,6 +150,7 @@ func (h *healthTracker) record(node string, err error) {
 			st.state = BreakerClosed
 			met.breaker.With("closed").Inc()
 			recovered = true
+			transitioned, entered = true, BreakerClosed
 		}
 	} else {
 		st.fails++
@@ -154,15 +162,20 @@ func (h *healthTracker) record(node string, err error) {
 			st.state = BreakerOpen
 			st.openedAt = time.Now()
 			met.breaker.With("open").Inc()
+			transitioned, entered = true, BreakerOpen
 		case BreakerClosed:
 			if st.consecFails >= h.threshold {
 				st.state = BreakerOpen
 				st.openedAt = time.Now()
 				met.breaker.With("open").Inc()
+				transitioned, entered = true, BreakerOpen
 			}
 		}
 	}
 	h.mu.Unlock()
+	if transitioned && h.onTransition != nil {
+		h.onTransition(node, entered)
+	}
 	if recovered && h.onRecover != nil {
 		h.onRecover(node)
 	}
@@ -173,17 +186,22 @@ func (h *healthTracker) record(node string, err error) {
 // passes the breaker goes half-open and the caller becomes the probe.
 func (h *healthTracker) allow(node string) error {
 	h.mu.Lock()
-	defer h.mu.Unlock()
 	st := h.state(node)
 	if st.state != BreakerOpen {
+		h.mu.Unlock()
 		return nil
 	}
 	until := st.openedAt.Add(h.backoff)
 	if time.Now().Before(until) {
+		h.mu.Unlock()
 		return &NodeUnavailableError{Node: node, Until: until}
 	}
 	st.state = BreakerHalfOpen
 	met.breaker.With("half_open").Inc()
+	h.mu.Unlock()
+	if h.onTransition != nil {
+		h.onTransition(node, BreakerHalfOpen)
+	}
 	return nil
 }
 

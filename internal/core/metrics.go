@@ -23,9 +23,13 @@ var met = struct {
 	consults      *obs.Counter
 	degraded      *obs.Counter
 	ddls          *obs.Counter
-	breaker       *obs.CounterVec // by entered state
-	orphansParked *obs.Counter
-	orphansSwept  *obs.Counter
+
+	cacheHits      *obs.Counter
+	cacheMisses    *obs.Counter
+	cacheEvictions *obs.Counter
+	breaker        *obs.CounterVec // by entered state
+	orphansParked  *obs.Counter
+	orphansSwept   *obs.Counter
 }{
 	queries: obs.Default.CounterVec("xdb_queries_total",
 		"Queries by outcome: ok, error, canceled, shed_overload, shed_timeout, shed_draining.", "outcome"),
@@ -43,6 +47,12 @@ var met = struct {
 		"Annotation decisions that fell back to the local cost model."),
 	ddls: obs.Default.Counter("xdb_ddl_deployed_total",
 		"DDL statements deployed by delegation."),
+	cacheHits: obs.Default.Counter("xdb_consult_cache_hits_total",
+		"Consultation probes answered from the cross-query consult cache."),
+	cacheMisses: obs.Default.Counter("xdb_consult_cache_misses_total",
+		"Consult cache lookups that had to spend a round trip."),
+	cacheEvictions: obs.Default.Counter("xdb_consult_cache_evictions_total",
+		"Consult cache entries dropped by TTL expiry or invalidation (breaker transitions, stats refresh)."),
 	breaker: obs.Default.CounterVec("xdb_breaker_transitions_total",
 		"Circuit breaker state transitions, labelled by the state entered.", "state"),
 	orphansParked: obs.Default.Counter("xdb_orphans_parked_total",
@@ -86,6 +96,9 @@ func registerSystemGauges(s *System) {
 	obs.Default.GaugeFunc("xdb_orphans_pending",
 		"Short-lived relations currently parked for the janitor.",
 		func() int64 { return int64(s.orphans.count()) })
+	obs.Default.GaugeFunc("xdb_consult_cache_entries",
+		"Consult cache occupancy (0 when ConsultCacheTTL is unset).",
+		func() int64 { return int64(s.consults.occupancy()) })
 }
 
 // observeSeconds records a duration on a histogram.

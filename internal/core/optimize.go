@@ -64,6 +64,21 @@ type Options struct {
 	// DefaultBreakerBackoff.
 	BreakerBackoff time.Duration
 
+	// ConsultCacheTTL enables the cross-query consult cache: successful
+	// CostOperator probe results are memoized per (node, operator kind,
+	// bucketed cardinalities) and served without a round trip until the
+	// entry ages out, the node's breaker changes state, or a metadata
+	// refresh changes one of the node's tables' statistics. Zero (the
+	// paper configuration) disables the cache; the per-decision probe
+	// dedupe inside one Rule-4 placement is always on.
+	ConsultCacheTTL time.Duration
+	// SerialAnnotation disables the optimizer's consultation concurrency
+	// — per-table metadata fetches and Rule-4 candidate probes run in
+	// the paper's sequential order instead of fanning out. Plans are
+	// identical either way; the knob exists for the serial-vs-parallel
+	// A/B (make bench-annotate) and for debugging.
+	SerialAnnotation bool
+
 	// QueryTimeout bounds one query end to end — admission wait,
 	// planning, delegation, and execution. Zero leaves the query bounded
 	// only by the caller's context (the paper configuration). Cleanup of

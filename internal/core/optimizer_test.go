@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math"
 	"strings"
+	"sync"
 	"testing"
 
 	"xdb/internal/engine"
@@ -257,16 +258,26 @@ func TestOrderJoinsResidualPredicates(t *testing.T) {
 	}
 }
 
-// fakeCoster implements Coster without live engines.
+// fakeCoster implements Coster without live engines. Probe counting is
+// locked: annotation fans candidate probes out concurrently.
 type fakeCoster struct {
 	nodes  []string
+	mu     sync.Mutex
 	rounds int
 	// linkFactors keyed "from->to"
 	linkFactors map[string]float64
 }
 
+func (f *fakeCoster) probeCount() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.rounds
+}
+
 func (f *fakeCoster) CostOperator(_ context.Context, node string, kind engine.CostKind, l, r, o float64) (float64, error) {
+	f.mu.Lock()
 	f.rounds++
+	f.mu.Unlock()
 	switch kind {
 	case engine.CostJoin:
 		small, big := l, r
@@ -370,8 +381,8 @@ func TestAnnotateRule3SameNode(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if coster.rounds != 0 {
-		t.Errorf("co-located join consulted %d times, want 0", coster.rounds)
+	if n := coster.probeCount(); n != 0 {
+		t.Errorf("co-located join consulted %d times, want 0", n)
 	}
 	if ann.Node[joined] != "db2" {
 		t.Errorf("join on %s, want db2", ann.Node[joined])

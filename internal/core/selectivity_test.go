@@ -1,0 +1,73 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"xdb/internal/sqlparser"
+)
+
+// TestOrSelectivity pins the disjunction estimate to the textbook
+// inclusion-exclusion formula s1 + s2 − s1·s2. The previous clamp01(s1+s2)
+// saturated: two 0.6-selective disjuncts estimated the whole table, which
+// erased the filter from join ordering.
+func TestOrSelectivity(t *testing.T) {
+	cases := []struct {
+		name         string
+		s1, s2, want float64
+	}{
+		{"both impossible", 0, 0, 0},
+		{"left only", 0.5, 0, 0.5},
+		{"right only", 0, 0.3, 0.3},
+		{"independent overlap", 0.5, 0.5, 0.75},
+		{"would saturate under plain addition", 0.6, 0.6, 0.84},
+		{"certain disjunct dominates", 1, 0.7, 1},
+		{"small disjuncts nearly add", 0.001, 0.001, 0.001999},
+		{"negative input clamped", -0.2, 0.3, 0.3},
+		{"overshooting input clamped", 2, 0.5, 1},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := orSelectivity(tc.s1, tc.s2); math.Abs(got-tc.want) > 1e-9 {
+				t.Errorf("orSelectivity(%v, %v) = %v, want %v", tc.s1, tc.s2, got, tc.want)
+			}
+		})
+	}
+}
+
+// TestExprSelectivityOr checks the statistics-free residual estimator
+// composes OR the same way: two 0.05 equality leaves give 0.0975, not
+// whatever clamped addition produced.
+func TestExprSelectivityOr(t *testing.T) {
+	sel, err := sqlparser.ParseSelect("SELECT s_id FROM small WHERE s_id = 1 OR s_id = 2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 0.05 + 0.05 - 0.05*0.05
+	if got := exprSelectivity(sel.Where); math.Abs(got-want) > 1e-9 {
+		t.Errorf("exprSelectivity = %v, want %v", got, want)
+	}
+}
+
+// TestEstimateScanOrSelectivity drives the fix through the scan estimator
+// with real column statistics: overlapping date ranges must not saturate
+// to the full table.
+func TestEstimateScanOrSelectivity(t *testing.T) {
+	c := newTestCatalog()
+
+	// Two equality disjuncts on m_tag (distinct=1000): each 0.001, OR
+	// ~0.002 of 10k rows ≈ 20.
+	b, _, _ := analyze(t, c, "SELECT m_id FROM medium WHERE m_tag = 'a' OR m_tag = 'b'")
+	if est := b.aliases["medium"].Est(); est < 15 || est > 25 {
+		t.Errorf("eq-OR estimate = %v, want ~20", est)
+	}
+
+	// Overlapping ranges: ~0.57 and ~0.71 selective. Plain addition
+	// saturated this to all 10000 rows; inclusion-exclusion keeps ~8776.
+	b, _, _ = analyze(t, c, `SELECT m_id FROM medium
+		WHERE m_date < DATE '1996-01-01' OR m_date > DATE '1994-01-01'`)
+	est := b.aliases["medium"].Est()
+	if est < 8000 || est > 9500 {
+		t.Errorf("range-OR estimate = %v, want ~8776 (not saturated to 10000)", est)
+	}
+}

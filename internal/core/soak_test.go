@@ -28,6 +28,9 @@ func soakOptions() Options {
 	// span construction (sibling DDL spans finish from the deploy
 	// fan-out's goroutines).
 	opts.Trace = true
+	// Consult cache on: concurrent queries exercise the shared cache and
+	// the parallel probe fan-out under -race.
+	opts.ConsultCacheTTL = time.Minute
 	return opts
 }
 

@@ -23,6 +23,10 @@ type SystemStats struct {
 	// Orphans lists the short-lived relations whose drops failed and
 	// await the janitor.
 	Orphans []Orphan
+	// ConsultCache is the cross-query consult cache's occupancy and
+	// hit/miss/eviction counters (zero value when ConsultCacheTTL is
+	// unset).
+	ConsultCache ConsultCacheStats
 }
 
 // Stats returns one coherent snapshot of the system's operational state.
@@ -30,9 +34,10 @@ type SystemStats struct {
 // cross-section arithmetic on a busy system is approximate.
 func (s *System) Stats() SystemStats {
 	st := SystemStats{
-		Admission: s.admit.snapshot(),
-		Nodes:     s.health.snapshot(),
-		Orphans:   s.orphans.snapshot(""),
+		Admission:    s.admit.snapshot(),
+		Nodes:        s.health.snapshot(),
+		Orphans:      s.orphans.snapshot(""),
+		ConsultCache: s.consults.stats(),
 	}
 	// Ensure every registered node appears even before its first RPC.
 	for node := range s.connectors {

@@ -6,6 +6,7 @@ import (
 	"log/slog"
 	"net"
 	"net/http"
+	"reflect"
 	"strconv"
 	"strings"
 	"sync"
@@ -68,6 +69,10 @@ type System struct {
 	// statsCache caches per-table statistics between queries when
 	// CacheStats is on.
 	statsCache sync.Map // table name -> *engine.TableStats
+	// consults memoizes consultation probe results across queries when
+	// Options.ConsultCacheTTL is set (nil otherwise; see
+	// consultcache.go for the freshness rules).
+	consults *consultCache
 	// CacheStats reuses table statistics across queries instead of
 	// re-gathering them during every preparation phase.
 	CacheStats bool
@@ -88,8 +93,13 @@ func NewSystem(middlewareNode, clientNode string, topo *netsim.Topology, opts Op
 		calNodes:   map[string]bool{},
 		admit:      newAdmitter(opts.MaxInFlight, opts.MaxQueue),
 		nodes:      newNodeLimiter(opts.MaxPerNode),
+		consults:   newConsultCache(opts.ConsultCacheTTL),
 	}
 	s.health = newHealthTracker(opts.BreakerThreshold, opts.BreakerBackoff, s.nodeRecovered)
+	// Any breaker transition invalidates the node's cached consult
+	// entries: costs consulted before an outage say nothing about the
+	// node during or after it.
+	s.health.onTransition = func(node string, _ BreakerState) { s.consults.invalidateNode(node) }
 	registerSystemGauges(s)
 	s.startMetricsServer()
 	return s
@@ -251,6 +261,11 @@ type Breakdown struct {
 	// a cost probe failed — and fell back to the local cost model. Zero
 	// on a healthy run.
 	DegradedProbes int
+	// CachedProbes counts the annotation probes answered without a round
+	// trip: by the per-decision dedupe (always on) or by the cross-query
+	// consult cache (Options.ConsultCacheTTL). A warm repeat of a query
+	// shows ConsultRounds=0 and CachedProbes>0.
+	CachedProbes int
 	// DDLCount is the number of DDL statements the delegation deployed.
 	DDLCount int
 	// AdmissionWait is how long the query waited for admission before
@@ -304,6 +319,22 @@ func (s *System) CostOperator(ctx context.Context, node string, kind engine.Cost
 // the annotator excludes it from placement candidates and skips probing
 // it (degraded planning).
 func (s *System) Healthy(node string) bool { return s.health.healthy(node) }
+
+// LookupCost implements consultCacher over the cross-query consult cache
+// (a guaranteed miss while ConsultCacheTTL is unset).
+func (s *System) LookupCost(node string, kind engine.CostKind, left, right, out float64) (float64, bool) {
+	return s.consults.lookup(node, kind, left, right, out)
+}
+
+// StoreCost implements consultCacher: memoizes one successfully
+// consulted operator cost (a no-op while ConsultCacheTTL is unset).
+func (s *System) StoreCost(node string, kind engine.CostKind, left, right, out, cost float64) {
+	s.consults.store(node, kind, left, right, out, cost)
+}
+
+// ConsultCacheStats snapshots the consult cache: occupancy, hit/miss
+// counters, and evictions. All zero while ConsultCacheTTL is unset.
+func (s *System) ConsultCacheStats() ConsultCacheStats { return s.consults.stats() }
 
 // AllNodes implements Coster.
 func (s *System) AllNodes() []string {
@@ -437,11 +468,15 @@ func (s *System) plan(ctx context.Context, sql string, bd *Breakdown) (*Plan, er
 	if ann.DegradedProbes > 0 {
 		annSpan.Set("degraded", strconv.Itoa(ann.DegradedProbes))
 	}
+	if ann.CachedProbes > 0 {
+		annSpan.Set("cached", strconv.Itoa(ann.CachedProbes))
+	}
 	annSpan.Finish()
 	plan := finalize(root, ann, collectColTypes(b))
 	bd.Ann = time.Since(start)
 	bd.ConsultRounds = ann.ConsultRounds
 	bd.DegradedProbes = ann.DegradedProbes
+	bd.CachedProbes = ann.CachedProbes
 	met.consults.Add(int64(ann.ConsultRounds))
 	met.degraded.Add(int64(ann.DegradedProbes))
 	return plan, nil
@@ -449,9 +484,13 @@ func (s *System) plan(ctx context.Context, sql string, bd *Breakdown) (*Plan, er
 
 // gatherMetadata fetches schema and statistics for every referenced table,
 // republishing catalog entries immutably so concurrent queries never
-// observe a half-updated entry.
+// observe a half-updated entry. Tables on different nodes fetch in
+// parallel (the per-node semaphores still bound what any single DBMS
+// sees); the first failure cancels the rest of the fan-out.
 func (s *System) gatherMetadata(ctx context.Context, sel *sqlparser.Select) error {
 	seen := map[string]bool{}
+	var keys []string
+	var work []*TableInfo
 	for _, ref := range sel.From {
 		key := strings.ToLower(ref.Name)
 		if seen[key] {
@@ -465,57 +504,96 @@ func (s *System) gatherMetadata(ctx context.Context, sel *sqlparser.Select) erro
 		if s.CacheStats && info.Schema != nil && info.Stats != nil {
 			continue // fully cached entry
 		}
-		mdSpan := obs.SpanFrom(ctx).Child("metadata")
-		mdSpan.Set("table", info.Name)
-		mdSpan.Set("node", info.Node)
-		conn := s.connectors[info.Node]
-		// The table's home must answer — a query referencing it cannot
-		// degrade around the node that holds its rows. An open breaker
-		// fails fast instead of burning a timeout.
-		if err := s.health.allow(info.Node); err != nil {
+		keys = append(keys, key)
+		work = append(work, info)
+	}
+	if s.opts.SerialAnnotation || len(work) < 2 {
+		for i := range work {
+			if err := s.fetchTableMetadata(ctx, keys[i], work[i]); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return fanOutFirstErr(ctx, len(work), func(fctx context.Context, i int) error {
+		return s.fetchTableMetadata(fctx, keys[i], work[i])
+	})
+}
+
+// fetchTableMetadata fetches one table's missing schema and statistics
+// and republishes its catalog entry. A stats-RPC failure still publishes
+// the schema fetched before it, so the next attempt resumes from the
+// partial entry instead of paying the schema round trip again.
+func (s *System) fetchTableMetadata(ctx context.Context, key string, info *TableInfo) error {
+	mdSpan := obs.SpanFrom(ctx).Child("metadata")
+	mdSpan.Set("table", info.Name)
+	mdSpan.Set("node", info.Node)
+	defer mdSpan.Finish()
+	conn := s.connectors[info.Node]
+	// The table's home must answer — a query referencing it cannot
+	// degrade around the node that holds its rows. An open breaker
+	// fails fast instead of burning a timeout.
+	if err := s.health.allow(info.Node); err != nil {
+		mdSpan.SetErr(err)
+		return err
+	}
+	// One unit of the node's control-plane budget covers both RPCs, so
+	// the metadata fan-out stays inside MaxPerNode like any other
+	// control-plane burst.
+	release, err := s.nodes.acquire(ctx, info.Node, 1)
+	if err != nil {
+		mdSpan.SetErr(err)
+		return err
+	}
+	defer release()
+	updated := &TableInfo{Name: info.Name, Node: info.Node, Schema: info.Schema, Stats: info.Stats}
+	if updated.Schema == nil {
+		rctx, cancel := s.reqCtx(ctx)
+		schema, err := conn.TableSchema(rctx, info.Name)
+		cancel()
+		s.health.record(info.Node, err)
+		if err != nil {
 			mdSpan.SetErr(err)
-			mdSpan.Finish()
 			return err
 		}
-		updated := &TableInfo{Name: info.Name, Node: info.Node, Schema: info.Schema, Stats: info.Stats}
-		if updated.Schema == nil {
-			rctx, cancel := s.reqCtx(ctx)
-			schema, err := conn.TableSchema(rctx, info.Name)
-			cancel()
-			s.health.record(info.Node, err)
-			if err != nil {
-				mdSpan.SetErr(err)
-				mdSpan.Finish()
-				return err
-			}
-			updated.Schema = schema
-		}
-		refreshStats := true
-		if s.CacheStats {
-			if st, ok := s.statsCache.Load(key); ok {
-				updated.Stats = st.(*engine.TableStats)
-				refreshStats = false
-			}
-		}
-		if refreshStats {
-			rctx, cancel := s.reqCtx(ctx)
-			st, err := conn.Stats(rctx, info.Name)
-			cancel()
-			s.health.record(info.Node, err)
-			if err != nil {
-				mdSpan.SetErr(err)
-				mdSpan.Finish()
-				return err
-			}
-			updated.Stats = st
-			if s.CacheStats {
-				s.statsCache.Store(key, st)
-			}
-		}
-		s.catalog.Put(updated)
-		mdSpan.Finish()
+		updated.Schema = schema
 	}
+	refreshStats := true
+	if s.CacheStats {
+		if st, ok := s.statsCache.Load(key); ok {
+			updated.Stats = st.(*engine.TableStats)
+			refreshStats = false
+		}
+	}
+	if refreshStats {
+		rctx, cancel := s.reqCtx(ctx)
+		st, err := conn.Stats(rctx, info.Name)
+		cancel()
+		s.health.record(info.Node, err)
+		if err != nil {
+			s.catalog.Put(updated) // keep the schema: partial beats absent
+			mdSpan.SetErr(err)
+			return err
+		}
+		// A refresh that actually changed the table's statistics drops
+		// the node's consult-cache entries — costs consulted against the
+		// old statistics no longer describe it.
+		if info.Stats != nil && !statsEqual(info.Stats, st) {
+			s.consults.invalidateNode(info.Node)
+		}
+		updated.Stats = st
+		if s.CacheStats {
+			s.statsCache.Store(key, st)
+		}
+	}
+	s.catalog.Put(updated)
 	return nil
+}
+
+// statsEqual reports whether a freshly fetched statistics snapshot
+// matches the previous one (row count and all column stats).
+func statsEqual(a, b *engine.TableStats) bool {
+	return reflect.DeepEqual(a, b)
 }
 
 // Result is the outcome of a cross-database query.
@@ -697,6 +775,9 @@ func (s *System) logSlowQuery(sql string, wall time.Duration, bd *Breakdown, pla
 	}
 	if bd.DegradedProbes > 0 {
 		attrs = append(attrs, "degraded_probes", bd.DegradedProbes)
+	}
+	if bd.CachedProbes > 0 {
+		attrs = append(attrs, "cached_probes", bd.CachedProbes)
 	}
 	if plan != nil {
 		attrs = append(attrs, "plan", planShape(plan))

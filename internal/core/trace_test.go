@@ -84,9 +84,10 @@ func TestTraceFullLifecycle(t *testing.T) {
 	if probe.Attr("node") == "" {
 		t.Error("probe span missing node attribute")
 	}
-	if got := tr.Count("probe"); got != res.Breakdown.ConsultRounds+res.Breakdown.DegradedProbes {
-		t.Errorf("probe spans = %d, want ConsultRounds+DegradedProbes = %d",
-			got, res.Breakdown.ConsultRounds+res.Breakdown.DegradedProbes)
+	wantProbes := res.Breakdown.ConsultRounds + res.Breakdown.DegradedProbes + res.Breakdown.CachedProbes
+	if got := tr.Count("probe"); got != wantProbes {
+		t.Errorf("probe spans = %d, want ConsultRounds+DegradedProbes+CachedProbes = %d",
+			got, wantProbes)
 	}
 
 	exec := tr.Find("execute")

@@ -118,6 +118,10 @@ type (
 	// operational state: admission, per-node health, aggregated
 	// transport counters, and pending orphans (System.Stats).
 	SystemStats = core.SystemStats
+	// ConsultCacheStats is the cross-query consult cache's occupancy and
+	// hit/miss/eviction counters (Options.ConsultCacheTTL enables the
+	// cache; System.ConsultCacheStats / SystemStats.ConsultCache).
+	ConsultCacheStats = core.ConsultCacheStats
 	// Span is one timed node of a query's trace tree (Result.Trace when
 	// Options.Trace is set): flame-style String(), JSON export, and
 	// per-phase attributes. See internal/obs.
