@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet bench bench-transport bench-obs bench-annotate chaos soak check
+.PHONY: build test race vet bench bench-transport bench-obs bench-annotate bench-deploy chaos soak check
 
 build:
 	$(GO) build ./...
@@ -47,5 +47,10 @@ bench-obs:
 # latency").
 bench-annotate:
 	$(GO) test -run '^$$' -bench='BenchmarkAnnotate' -benchtime=50x -count=1 ./internal/core/
+
+# The deployment A/B: drop-per-query vs warm plan-cache reuse of deployed
+# views at real network speed (EXPERIMENTS.md "Deployment latency").
+bench-deploy:
+	$(GO) test -run '^$$' -bench='BenchmarkDeploy' -benchtime=50x -count=1 ./internal/core/
 
 check: build vet test

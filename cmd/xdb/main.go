@@ -19,6 +19,10 @@
 //	-trace            print the query's span tree (xdb system only)
 //	-metrics <addr>   serve Prometheus metrics on addr (e.g. :9090)
 //	-slow <d>         log queries slower than d (e.g. 100ms)
+//	-plan-cache <n>   cache up to n delegation plans with their deployed
+//	                  views kept warm (0 disables; xdb system only)
+//	-deploy-ttl <d>   drop a warm deployment idle longer than d
+//	-repeat <n>       run the query n times (shows plan-cache warmup)
 package main
 
 import (
@@ -42,6 +46,9 @@ func main() {
 	trace := flag.Bool("trace", false, "print the query's span tree (xdb system only)")
 	metricsAddr := flag.String("metrics", "", "serve Prometheus metrics on this address (e.g. :9090)")
 	slow := flag.Duration("slow", 0, "log queries slower than this (e.g. 100ms)")
+	planCache := flag.Int("plan-cache", 0, "cache up to n delegation plans with deployed views kept warm (0 disables)")
+	deployTTL := flag.Duration("deploy-ttl", 0, "drop a warm deployment idle longer than this (default 30s)")
+	repeat := flag.Int("repeat", 1, "run the query this many times (shows plan-cache warmup)")
 	flag.Parse()
 
 	if flag.NArg() < 1 {
@@ -70,6 +77,8 @@ func main() {
 			Trace:              *trace,
 			MetricsAddr:        *metricsAddr,
 			SlowQueryThreshold: *slow,
+			PlanCacheSize:      *planCache,
+			DeploymentTTL:      *deployTTL,
 		},
 	})
 	if err != nil {
@@ -103,19 +112,32 @@ func main() {
 	start := time.Now()
 	switch *system {
 	case "xdb":
-		res, err := cluster.Query(sql)
-		if err != nil {
-			fatal(err)
+		var res *xdb.Result
+		for i := 0; i < *repeat; i++ {
+			iterStart := time.Now()
+			res, err = cluster.Query(sql)
+			if err != nil {
+				fatal(err)
+			}
+			if *repeat > 1 {
+				tag := "cold"
+				if res.Breakdown.PlanCacheHit {
+					tag = "plan-cache hit"
+				}
+				fmt.Fprintf(os.Stderr, "run %d/%d: %v (%s, %d DDLs)\n",
+					i+1, *repeat, time.Since(iterStart).Round(time.Millisecond),
+					tag, res.Breakdown.DDLCount)
+			}
 		}
 		total := time.Since(start)
 		fmt.Print(xdb.FormatResult(res.Result))
 		fmt.Printf("\n%d rows in %v via %s (exec on %s)\n",
 			len(res.Rows), total.Round(time.Millisecond), *system, res.RootNode)
 		bd := res.Breakdown
-		fmt.Printf("phases: prep=%v lopt=%v ann=%v deleg=%v exec=%v (consult rounds: %d)\n",
+		fmt.Printf("phases: prep=%v lopt=%v ann=%v deleg=%v exec=%v (consult rounds: %d, ddls: %d, plan cache hit: %v)\n",
 			bd.Prep.Round(time.Millisecond), bd.Lopt.Round(time.Microsecond),
 			bd.Ann.Round(time.Millisecond), bd.Deleg.Round(time.Millisecond),
-			bd.Exec.Round(time.Millisecond), bd.ConsultRounds)
+			bd.Exec.Round(time.Millisecond), bd.ConsultRounds, bd.DDLCount, bd.PlanCacheHit)
 		fmt.Println("delegation plan:")
 		fmt.Print(res.Plan)
 		if *trace && res.Trace != nil {

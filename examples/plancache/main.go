@@ -1,0 +1,82 @@
+// Plan cache: repeated queries without repeated deployment.
+//
+// Every XDB query normally deploys its delegation plan as short-lived
+// views and foreign tables, then drops them after execution — even for an
+// identical repeat statement. With Options.PlanCacheSize set, the
+// middleware memoizes the whole delegation: a repeat of the same
+// statement reuses the deployed objects that are still live on the
+// DBMSes, so it costs one SELECT on the root DBMS — zero consultation
+// round trips and zero DDLs. A janitor drops deployments idle past
+// Options.DeploymentTTL, and invalidation (breaker transitions, changed
+// statistics, execution failures) keeps stale plans out.
+//
+// Run with: go run ./examples/plancache
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"xdb"
+)
+
+func main() {
+	cluster, err := xdb.NewCluster([]string{"db1", "db2"}, xdb.ClusterConfig{
+		Options: xdb.Options{
+			PlanCacheSize: 16,               // keep up to 16 delegations warm
+			DeploymentTTL: 10 * time.Second, // drop ones idle this long
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cluster.Close()
+
+	users := xdb.NewSchema(
+		xdb.Column{Name: "id", Type: xdb.TypeInt},
+		xdb.Column{Name: "name", Type: xdb.TypeString},
+	)
+	userRows := []xdb.Row{
+		{xdb.NewInt(1), xdb.NewString("ada")},
+		{xdb.NewInt(2), xdb.NewString("grace")},
+	}
+	if err := cluster.Load("db1", "users", users, userRows); err != nil {
+		log.Fatal(err)
+	}
+	orders := xdb.NewSchema(
+		xdb.Column{Name: "id", Type: xdb.TypeInt},
+		xdb.Column{Name: "user_id", Type: xdb.TypeInt},
+	)
+	var orderRows []xdb.Row
+	for i := 0; i < 50; i++ {
+		orderRows = append(orderRows, xdb.Row{
+			xdb.NewInt(int64(i)), xdb.NewInt(int64(1 + i%2)),
+		})
+	}
+	if err := cluster.Load("db2", "orders", orders, orderRows); err != nil {
+		log.Fatal(err)
+	}
+
+	const query = `SELECT u.name, o.id FROM users u, orders o WHERE u.id = o.user_id`
+
+	for i := 1; i <= 3; i++ {
+		start := time.Now()
+		res, err := cluster.Query(query)
+		if err != nil {
+			log.Fatal(err)
+		}
+		bd := res.Breakdown
+		state := "cold: planned, consulted, deployed"
+		if bd.PlanCacheHit {
+			state = "warm: reused the deployed views"
+		}
+		fmt.Printf("run %d: %-36s %4d rows in %7v (consult rounds=%d, ddls=%d)\n",
+			i, state, len(res.Rows), time.Since(start).Round(time.Microsecond),
+			bd.ConsultRounds, bd.DDLCount)
+	}
+
+	st := cluster.System().PlanCacheStats()
+	fmt.Printf("\nplan cache: %d entries, %d hits, %d misses (leases held: %d)\n",
+		st.Entries, st.Hits, st.Misses, st.ActiveLeases)
+}

@@ -112,14 +112,15 @@ func (s *System) deploy(ctx context.Context, plan *Plan, qid int64) (*Deployment
 	}
 	dep.XDBQuery = "SELECT * FROM " + rootView
 	dep.Node = plan.Root.Node
-	met.ddls.Add(int64(dep.DDLCount))
 	return dep, nil
 }
 
 // startDDLSpan opens one "ddl" span (tagged node and statement kind) and
 // returns a closer that records latency — on the span and on the DDL
-// histogram — plus the error outcome. Nil-safe end to end: with tracing
-// off only the histogram observation remains.
+// histogram — plus the error outcome. The closer also counts the
+// statement on the issued-DDL counter regardless of outcome: a deployment
+// that fails halfway still reports every DDL it actually sent. Nil-safe
+// end to end: with tracing off only the metric observations remain.
 func startDDLSpan(ctx context.Context, node, kind, object string, kv ...string) func(error) {
 	sp := obs.SpanFrom(ctx).Child("ddl")
 	sp.Set("node", node)
@@ -131,6 +132,7 @@ func startDDLSpan(ctx context.Context, node, kind, object string, kv ...string) 
 	start := time.Now()
 	return func(err error) {
 		observeSeconds(met.ddlDur, time.Since(start))
+		met.ddls.Inc()
 		sp.SetErr(err)
 		sp.Finish()
 	}

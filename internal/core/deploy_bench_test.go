@@ -1,0 +1,51 @@
+package core
+
+import (
+	"testing"
+	"time"
+)
+
+// BenchmarkDeploy measures the full query path — planning, delegation,
+// execution, cleanup — on the chaos cluster at real network speed
+// (TimeScale=1), isolating what deployment DDL costs a repeated query:
+//
+//   - drop-per-query:  the paper's lifecycle — every query deploys its
+//     short-lived relations and drops them afterwards, even for an
+//     identical repeat (consult cache on, so the delta is DDL);
+//   - plan-cache-warm: the delegation-plan cache keeps the deployed
+//     objects warm under leases — after the first iteration every query
+//     is one SELECT on the root DBMS with zero DDL round trips.
+//
+// Run via `make bench-deploy`; EXPERIMENTS.md records the numbers.
+func BenchmarkDeploy(b *testing.B) {
+	variants := []struct {
+		name string
+		tune func(*Options)
+	}{
+		{"drop-per-query", func(o *Options) { o.ConsultCacheTTL = time.Hour }},
+		{"plan-cache-warm", func(o *Options) {
+			o.ConsultCacheTTL = time.Hour
+			o.PlanCacheSize = 16
+			o.DeploymentTTL = time.Hour
+		}},
+	}
+	for _, v := range variants {
+		b.Run(v.name, func(b *testing.B) {
+			opts := chaosOptions()
+			v.tune(&opts)
+			cl := newChaosCluster(b, opts)
+			cl.topo.TimeScale = 1 // real shaping delays: round trips cost wall time
+			loadItems(b, cl)
+			cl.sys.CacheStats = true
+			if _, err := cl.sys.Query(benchQuery); err != nil {
+				b.Fatal(err) // warm: calibration, catalog, pools, caches
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := cl.sys.Query(benchQuery); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -27,6 +27,9 @@ var met = struct {
 	cacheHits      *obs.Counter
 	cacheMisses    *obs.Counter
 	cacheEvictions *obs.Counter
+	planHits       *obs.Counter
+	planMisses     *obs.Counter
+	planEvictions  *obs.Counter
 	breaker        *obs.CounterVec // by entered state
 	orphansParked  *obs.Counter
 	orphansSwept   *obs.Counter
@@ -46,13 +49,19 @@ var met = struct {
 	degraded: obs.Default.Counter("xdb_degraded_probes_total",
 		"Annotation decisions that fell back to the local cost model."),
 	ddls: obs.Default.Counter("xdb_ddl_deployed_total",
-		"DDL statements deployed by delegation."),
+		"DDL statements issued by delegation, whatever their outcome — a half-failed deployment still reports every statement it sent."),
 	cacheHits: obs.Default.Counter("xdb_consult_cache_hits_total",
 		"Consultation probes answered from the cross-query consult cache."),
 	cacheMisses: obs.Default.Counter("xdb_consult_cache_misses_total",
 		"Consult cache lookups that had to spend a round trip."),
 	cacheEvictions: obs.Default.Counter("xdb_consult_cache_evictions_total",
 		"Consult cache entries dropped by TTL expiry or invalidation (breaker transitions, stats refresh)."),
+	planHits: obs.Default.Counter("xdb_plan_cache_hits_total",
+		"Queries served from the delegation-plan cache (0 planning round trips, 0 DDLs)."),
+	planMisses: obs.Default.Counter("xdb_plan_cache_misses_total",
+		"Plan cache lookups that had to plan and deploy from scratch."),
+	planEvictions: obs.Default.Counter("xdb_plan_cache_evictions_total",
+		"Plan cache entries dropped by capacity, deployment-TTL expiry, or invalidation (breaker transitions, stats refresh, execution failure)."),
 	breaker: obs.Default.CounterVec("xdb_breaker_transitions_total",
 		"Circuit breaker state transitions, labelled by the state entered.", "state"),
 	orphansParked: obs.Default.Counter("xdb_orphans_parked_total",
@@ -99,6 +108,12 @@ func registerSystemGauges(s *System) {
 	obs.Default.GaugeFunc("xdb_consult_cache_entries",
 		"Consult cache occupancy (0 when ConsultCacheTTL is unset).",
 		func() int64 { return int64(s.consults.occupancy()) })
+	obs.Default.GaugeFunc("xdb_plan_cache_entries",
+		"Plan cache occupancy — warm deployments currently held (0 when PlanCacheSize is unset).",
+		func() int64 { return int64(s.plans.occupancy()) })
+	obs.Default.GaugeFunc("xdb_deployment_leases",
+		"Leases currently held on cached deployments by executing queries.",
+		func() int64 { return int64(s.plans.activeLeases()) })
 }
 
 // observeSeconds records a duration on a histogram.

@@ -72,6 +72,24 @@ type Options struct {
 	// paper configuration) disables the cache; the per-decision probe
 	// dedupe inside one Rule-4 placement is always on.
 	ConsultCacheTTL time.Duration
+	// PlanCacheSize enables the delegation-plan cache: a completed query's
+	// delegation plan AND its deployed short-lived relations (views,
+	// SQL/MED servers, foreign tables) are retained under a refcounted
+	// lease, so a repeated identical statement skips logical optimization,
+	// annotation, and every deployment DDL — it becomes one SELECT on the
+	// root DBMS with Breakdown.DDLCount == 0. Entries are keyed on the
+	// normalized AST; the cache reuses the consult-cache invalidation
+	// machinery (a breaker transition or a changed-statistics refresh on a
+	// node drops every cached plan deployed there) and a janitor drops
+	// deployments idle past DeploymentTTL. PlanCacheSize bounds the number
+	// of simultaneously warm plans; zero (the paper configuration, whose
+	// relations are strictly short-lived) disables the cache.
+	PlanCacheSize int
+	// DeploymentTTL is how long an idle cached deployment keeps its
+	// deployed objects warm before the janitor drops them. Zero means
+	// DefaultDeploymentTTL when the plan cache is enabled; ignored
+	// otherwise.
+	DeploymentTTL time.Duration
 	// SerialAnnotation disables the optimizer's consultation concurrency
 	// — per-table metadata fetches and Rule-4 candidate probes run in
 	// the paper's sequential order instead of fanning out. Plans are

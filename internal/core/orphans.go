@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"sync"
@@ -145,5 +146,81 @@ func (s *System) nodeRecovered(node string) {
 	go func() {
 		defer s.bg.Done()
 		s.sweepOrphans(node)
+	}()
+}
+
+// Deployment janitor. The plan cache keeps deployed views and foreign
+// tables warm across queries; the janitor bounds how long an idle one
+// lingers. It shares the orphan machinery end to end: expired (and
+// invalidated, and flushed) deployments are dropped through
+// cleanupDeployment, so a drop that fails parks the objects here for the
+// sweeps above.
+
+// startDeploymentJanitor launches the TTL sweep for cached deployments.
+// No-op while the plan cache is disabled.
+func (s *System) startDeploymentJanitor() {
+	if s.plans == nil {
+		return
+	}
+	period := s.plans.ttl / 4
+	if period < 10*time.Millisecond {
+		period = 10 * time.Millisecond
+	}
+	s.bg.Add(1)
+	go func() {
+		defer s.bg.Done()
+		tick := time.NewTicker(period)
+		defer tick.Stop()
+		for {
+			select {
+			case <-s.planStop:
+				return
+			case now := <-tick.C:
+				s.expireDeployments(now)
+			}
+		}
+	}()
+}
+
+// stopDeploymentJanitor halts the TTL sweep. Idempotent; Close calls it
+// before draining so no sweep races the final flush.
+func (s *System) stopDeploymentJanitor() {
+	s.planStopOnce.Do(func() { close(s.planStop) })
+}
+
+// expireDeployments drops every cached deployment idle past the TTL.
+func (s *System) expireDeployments(now time.Time) {
+	for _, ent := range s.plans.expire(now) {
+		s.cleanupDeployment(context.Background(), ent.dep)
+	}
+}
+
+// FlushPlans empties the plan cache and drops the idle warm deployments
+// now; entries leased by in-flight queries are dropped by their final
+// release. Drops that fail park as orphans. Close flushes automatically —
+// FlushPlans exists for tests and operators forcing a cold cache.
+func (s *System) FlushPlans() {
+	for _, ent := range s.plans.invalidateAll() {
+		s.cleanupDeployment(context.Background(), ent.dep)
+	}
+}
+
+// invalidatePlansOnNode drops the node's cached plans in the background —
+// it is called from the health tracker's transition hook and from metadata
+// refresh, neither of which should block on remote DROPs.
+func (s *System) invalidatePlansOnNode(node string) {
+	for _, ent := range s.plans.invalidateNode(node) {
+		s.dropDeploymentAsync(ent.dep)
+	}
+}
+
+// dropDeploymentAsync drops a deployment's objects on a background
+// goroutine tracked by s.bg (the nodeRecovered idiom), detached from any
+// query context.
+func (s *System) dropDeploymentAsync(dep *Deployment) {
+	s.bg.Add(1)
+	go func() {
+		defer s.bg.Done()
+		s.cleanupDeployment(context.Background(), dep)
 	}()
 }

@@ -27,6 +27,10 @@ type SystemStats struct {
 	// hit/miss/eviction counters (zero value when ConsultCacheTTL is
 	// unset).
 	ConsultCache ConsultCacheStats
+	// PlanCache is the delegation-plan cache's occupancy, active leases,
+	// and hit/miss/eviction counters (zero value when PlanCacheSize is
+	// unset).
+	PlanCache PlanCacheStats
 }
 
 // Stats returns one coherent snapshot of the system's operational state.
@@ -38,6 +42,7 @@ func (s *System) Stats() SystemStats {
 		Nodes:        s.health.snapshot(),
 		Orphans:      s.orphans.snapshot(""),
 		ConsultCache: s.consults.stats(),
+		PlanCache:    s.plans.stats(),
 	}
 	// Ensure every registered node appears even before its first RPC.
 	for node := range s.connectors {

@@ -12,6 +12,7 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+	"unicode/utf8"
 
 	"xdb/internal/connector"
 	"xdb/internal/engine"
@@ -73,6 +74,13 @@ type System struct {
 	// Options.ConsultCacheTTL is set (nil otherwise; see
 	// consultcache.go for the freshness rules).
 	consults *consultCache
+	// plans memoizes delegation plans and keeps their deployed objects
+	// warm under refcounted leases when Options.PlanCacheSize is set (nil
+	// otherwise; see plancache.go for the freshness rules). planStop
+	// stops the deployment janitor; planStopOnce makes Close idempotent.
+	plans        *planCache
+	planStop     chan struct{}
+	planStopOnce sync.Once
 	// CacheStats reuses table statistics across queries instead of
 	// re-gathering them during every preparation phase.
 	CacheStats bool
@@ -94,14 +102,21 @@ func NewSystem(middlewareNode, clientNode string, topo *netsim.Topology, opts Op
 		admit:      newAdmitter(opts.MaxInFlight, opts.MaxQueue),
 		nodes:      newNodeLimiter(opts.MaxPerNode),
 		consults:   newConsultCache(opts.ConsultCacheTTL),
+		plans:      newPlanCache(opts.PlanCacheSize, opts.DeploymentTTL),
+		planStop:   make(chan struct{}),
 	}
 	s.health = newHealthTracker(opts.BreakerThreshold, opts.BreakerBackoff, s.nodeRecovered)
 	// Any breaker transition invalidates the node's cached consult
-	// entries: costs consulted before an outage say nothing about the
-	// node during or after it.
-	s.health.onTransition = func(node string, _ BreakerState) { s.consults.invalidateNode(node) }
+	// entries — costs consulted before an outage say nothing about the
+	// node during or after it — and its cached plans, whose deployed
+	// objects may not have survived the outage.
+	s.health.onTransition = func(node string, _ BreakerState) {
+		s.consults.invalidateNode(node)
+		s.invalidatePlansOnNode(node)
+	}
 	registerSystemGauges(s)
 	s.startMetricsServer()
+	s.startDeploymentJanitor()
 	return s
 }
 
@@ -172,6 +187,7 @@ func (s *System) Options() Options { return s.opts }
 // transport). The registered connectors' clients are owned by whoever
 // created them — the testbed closes those.
 func (s *System) Close() error {
+	s.stopDeploymentJanitor()
 	grace := s.opts.DrainGrace
 	if grace == 0 {
 		grace = DefaultDrainGrace
@@ -184,6 +200,9 @@ func (s *System) Close() error {
 		// Negative grace: stop admitting, skip the wait and the sweep.
 		s.admit.startDrain()
 	}
+	// Warm deployments must not outlive the middleware: drop every cached
+	// plan's objects (failed drops park as orphans for a later process).
+	s.FlushPlans()
 	if s.metricsSrv != nil {
 		s.metricsSrv.Close() // unblocks Serve; bg.Wait collects it
 	}
@@ -267,7 +286,12 @@ type Breakdown struct {
 	// shows ConsultRounds=0 and CachedProbes>0.
 	CachedProbes int
 	// DDLCount is the number of DDL statements the delegation deployed.
+	// Zero on a plan-cache hit — the warm deployment is reused as-is.
 	DDLCount int
+	// PlanCacheHit reports whether the query was served from the
+	// delegation-plan cache: planning, consultation, and deployment were
+	// all skipped, and the query went straight to execution.
+	PlanCacheHit bool
 	// AdmissionWait is how long the query waited for admission before
 	// planning began (zero when it was admitted immediately); Queued
 	// reports whether it waited in the admission queue at all.
@@ -335,6 +359,11 @@ func (s *System) StoreCost(node string, kind engine.CostKind, left, right, out, 
 // ConsultCacheStats snapshots the consult cache: occupancy, hit/miss
 // counters, and evictions. All zero while ConsultCacheTTL is unset.
 func (s *System) ConsultCacheStats() ConsultCacheStats { return s.consults.stats() }
+
+// PlanCacheStats snapshots the delegation-plan cache: warm deployments
+// held, active leases, and hit/miss/eviction counters. All zero while
+// PlanCacheSize is unset.
+func (s *System) PlanCacheStats() PlanCacheStats { return s.plans.stats() }
 
 // AllNodes implements Coster.
 func (s *System) AllNodes() []string {
@@ -577,9 +606,11 @@ func (s *System) fetchTableMetadata(ctx context.Context, key string, info *Table
 		}
 		// A refresh that actually changed the table's statistics drops
 		// the node's consult-cache entries — costs consulted against the
-		// old statistics no longer describe it.
+		// old statistics no longer describe it — and the node's cached
+		// plans, whose placements were functions of the old statistics.
 		if info.Stats != nil && !statsEqual(info.Stats, st) {
 			s.consults.invalidateNode(info.Node)
+			s.invalidatePlansOnNode(info.Node)
 		}
 		updated.Stats = st
 		if s.CacheStats {
@@ -688,49 +719,96 @@ func (s *System) QueryContext(ctx context.Context, sql string) (res *Result, err
 	defer release()
 
 	bd = Breakdown{AdmissionWait: wait, Queued: queued}
-	plan, err = s.plan(ctx, sql, &bd)
-	if err != nil {
-		return nil, err
-	}
 
-	// --- Delegation: deploy the plan as DDL.
-	start := time.Now()
-	dctx, delegSpan := obs.Start(ctx, "delegate")
-	qid := s.seq.Add(1)
-	dep, err := s.deploy(dctx, plan, qid)
-	delegSpan.SetErr(err)
-	if dep != nil {
-		delegSpan.Set("ddls", strconv.Itoa(dep.DDLCount))
+	// --- Plan cache: a warm repeat of an identical statement skips
+	// planning, consultation, and delegation entirely — the deployed views
+	// are still live under the entry's lease, so the query goes straight
+	// to execution with DDLCount 0.
+	var ent *planEntry
+	var cacheKey string
+	if s.plans != nil {
+		// The key is the canonical rendering of the parsed statement, so
+		// formatting differences (case of keywords, whitespace) hit the
+		// same entry. An unparsable statement skips the cache and fails in
+		// s.plan with the real parse error.
+		if sel, perr := sqlparser.ParseSelect(sql); perr == nil {
+			cacheKey = sel.String()
+			ent = s.plans.acquire(cacheKey)
+		}
 	}
-	delegSpan.Finish()
-	if err != nil {
-		return nil, err
+	var dep *Deployment
+	if ent != nil {
+		plan, dep = ent.plan, ent.dep
+		bd.PlanCacheHit = true
+		qspan.Set("plan_cache", "hit")
+	} else {
+		plan, err = s.plan(ctx, sql, &bd)
+		if err != nil {
+			return nil, err
+		}
+
+		// --- Delegation: deploy the plan as DDL.
+		start := time.Now()
+		dctx, delegSpan := obs.Start(ctx, "delegate")
+		qid := s.seq.Add(1)
+		dep, err = s.deploy(dctx, plan, qid)
+		delegSpan.SetErr(err)
+		if dep != nil {
+			delegSpan.Set("ddls", strconv.Itoa(dep.DDLCount))
+		}
+		delegSpan.Finish()
+		if err != nil {
+			return nil, err
+		}
+		bd.Deleg = time.Since(start)
+		bd.DDLCount = dep.DDLCount
+
+		// Cache the fresh deployment under this query's own lease; idle
+		// victims evicted for capacity drop in the background.
+		if cacheKey != "" {
+			var evicted []*planEntry
+			ent, evicted = s.plans.put(cacheKey, plan, dep)
+			for _, ev := range evicted {
+				s.dropDeploymentAsync(ev.dep)
+			}
+		}
 	}
-	bd.Deleg = time.Since(start)
-	bd.DDLCount = dep.DDLCount
 
 	// --- Execution: the client runs the XDB query on the root DBMS; data
 	// flows only between DBMSes and, for the final result, to the client.
 	// The caller's context bounds the read, so a hung root DBMS fails the
 	// query instead of parking it forever.
-	start = time.Now()
-	execSpan := qspan.Child("execute")
-	execSpan.Set("node", dep.Node)
-	rootConn := s.connectors[dep.Node]
-	eres, execErr := s.clientWire.QueryAll(ctx, rootConn.Addr, dep.Node, dep.XDBQuery)
-	if eres != nil {
-		execSpan.AddRows(int64(len(eres.Rows)))
-	}
-	execSpan.SetErr(execErr)
-	execSpan.Finish()
+	start := time.Now()
+	eres, execErr := s.executeDeployment(ctx, qspan, dep)
 	bd.Exec = time.Since(start)
 
 	// Cleanup regardless of the execution outcome, on a detached context
-	// (see cleanupCtx). A failed drop parks the object in the orphan
-	// registry instead of failing an otherwise successful query — the
-	// janitor owns it from here.
-	cleanupErr := s.cleanupDeployment(ctx, dep)
+	// (see cleanupCtx). An uncached deployment drops per-query as always.
+	// A cached one normally just returns its lease — the objects stay warm
+	// for the next repeat — but an execution failure poisons the entry (its
+	// objects may be partially gone) and the last lease out drops it. A
+	// failed drop parks the object in the orphan registry instead of
+	// failing an otherwise successful query — the janitor owns it from
+	// here.
+	var cleanupErr error
+	switch {
+	case ent == nil:
+		cleanupErr = s.cleanupDeployment(ctx, dep)
+	case execErr != nil:
+		if s.plans.invalidate(ent) {
+			cleanupErr = s.cleanupDeployment(ctx, dep)
+		}
+	default:
+		if s.plans.release(ent) {
+			cleanupErr = s.cleanupDeployment(ctx, dep)
+		}
+	}
 	if execErr != nil {
+		// The execution error carries the cleanup outcome instead of
+		// silently dropping it, mirroring deploy()'s failure path.
+		if cleanupErr != nil {
+			return nil, fmt.Errorf("%w (cleanup after failure: %v)", execErr, cleanupErr)
+		}
 		return nil, execErr
 	}
 	return &Result{
@@ -744,13 +822,50 @@ func (s *System) QueryContext(ctx context.Context, sql string) (res *Result, err
 	}, nil
 }
 
-// truncateSQL bounds the SQL text attached to spans and log records.
+// NoConnectorError reports an execution attempt against a node no
+// connector is registered for — a deployment handed to the wrong System,
+// or a plan cached before the topology changed.
+type NoConnectorError struct {
+	Node string
+}
+
+func (e *NoConnectorError) Error() string {
+	return fmt.Sprintf("core: no connector registered for execution node %q", e.Node)
+}
+
+// executeDeployment runs the deployment's XDB query on its root DBMS and
+// returns the result rows. The caller's context bounds the read.
+func (s *System) executeDeployment(ctx context.Context, qspan *obs.Span, dep *Deployment) (*engine.Result, error) {
+	execSpan := qspan.Child("execute")
+	execSpan.Set("node", dep.Node)
+	defer execSpan.Finish()
+	rootConn, ok := s.connectors[dep.Node]
+	if !ok {
+		err := &NoConnectorError{Node: dep.Node}
+		execSpan.SetErr(err)
+		return nil, err
+	}
+	eres, err := s.clientWire.QueryAll(ctx, rootConn.Addr, dep.Node, dep.XDBQuery)
+	if eres != nil {
+		execSpan.AddRows(int64(len(eres.Rows)))
+	}
+	execSpan.SetErr(err)
+	return eres, err
+}
+
+// truncateSQL bounds the SQL text attached to spans and log records,
+// cutting on a rune boundary so multi-byte text never truncates to
+// invalid UTF-8.
 func truncateSQL(sql string) string {
 	const max = 200
 	if len(sql) <= max {
 		return sql
 	}
-	return sql[:max] + "..."
+	cut := max
+	for cut > 0 && !utf8.RuneStart(sql[cut]) {
+		cut--
+	}
+	return sql[:cut] + "..."
 }
 
 // logSlowQuery emits one structured record for a query whose wall time
@@ -772,6 +887,9 @@ func (s *System) logSlowQuery(sql string, wall time.Duration, bd *Breakdown, pla
 		"execute", bd.Exec,
 		"consult_rounds", bd.ConsultRounds,
 		"ddl_count", bd.DDLCount,
+	}
+	if bd.PlanCacheHit {
+		attrs = append(attrs, "plan_cache_hit", true)
 	}
 	if bd.DegradedProbes > 0 {
 		attrs = append(attrs, "degraded_probes", bd.DegradedProbes)

@@ -122,6 +122,11 @@ type (
 	// hit/miss/eviction counters (Options.ConsultCacheTTL enables the
 	// cache; System.ConsultCacheStats / SystemStats.ConsultCache).
 	ConsultCacheStats = core.ConsultCacheStats
+	// PlanCacheStats is the delegation-plan cache's occupancy, active
+	// deployment leases, and hit/miss/eviction counters
+	// (Options.PlanCacheSize enables the cache; System.PlanCacheStats /
+	// SystemStats.PlanCache).
+	PlanCacheStats = core.PlanCacheStats
 	// Span is one timed node of a query's trace tree (Result.Trace when
 	// Options.Trace is set): flame-style String(), JSON export, and
 	// per-phase attributes. See internal/obs.
