@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet bench bench-transport bench-obs bench-annotate bench-deploy chaos soak check
+.PHONY: build test race vet bench bench-transport bench-obs bench-annotate bench-deploy chaos chaos-failover soak check
 
 build:
 	$(GO) build ./...
@@ -23,6 +23,12 @@ race:
 # seed (netsim.SetFaultSeed), so drops are reproducible across runs.
 chaos:
 	$(GO) test -race -count=1 -v -run 'TestChaos' ./internal/core/
+
+# Failover drill: mid-query node kills, slow (wedged-but-alive) nodes,
+# suffix re-planning, and the mediator fallback, under the race detector
+# (DESIGN.md "Mid-query failover").
+chaos-failover:
+	$(GO) test -race -count=1 -v -run 'TestFailover|TestChaosPartitionMidStream|TestTraceFailoverWellFormed' ./internal/core/
 
 # Concurrency soak: burst admission, staggered mid-query cancellation,
 # and drain-under-load against a live cluster, under the race detector.

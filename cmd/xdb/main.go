@@ -23,6 +23,8 @@
 //	                  views kept warm (0 disables; xdb system only)
 //	-deploy-ttl <d>   drop a warm deployment idle longer than d
 //	-repeat <n>       run the query n times (shows plan-cache warmup)
+//	-max-replans <n>  re-plan around up to n mid-query node faults
+//	-mediator-fallback  finish on the middleware when replans are exhausted
 package main
 
 import (
@@ -49,6 +51,8 @@ func main() {
 	planCache := flag.Int("plan-cache", 0, "cache up to n delegation plans with deployed views kept warm (0 disables)")
 	deployTTL := flag.Duration("deploy-ttl", 0, "drop a warm deployment idle longer than this (default 30s)")
 	repeat := flag.Int("repeat", 1, "run the query this many times (shows plan-cache warmup)")
+	maxReplans := flag.Int("max-replans", 0, "re-plan around up to n mid-query node faults (0 disables failover)")
+	mediatorFallback := flag.Bool("mediator-fallback", false, "finish on the middleware when replans are exhausted")
 	flag.Parse()
 
 	if flag.NArg() < 1 {
@@ -79,6 +83,8 @@ func main() {
 			SlowQueryThreshold: *slow,
 			PlanCacheSize:      *planCache,
 			DeploymentTTL:      *deployTTL,
+			MaxReplans:         *maxReplans,
+			MediatorFallback:   *mediatorFallback,
 		},
 	})
 	if err != nil {
@@ -138,6 +144,10 @@ func main() {
 			bd.Prep.Round(time.Millisecond), bd.Lopt.Round(time.Microsecond),
 			bd.Ann.Round(time.Millisecond), bd.Deleg.Round(time.Millisecond),
 			bd.Exec.Round(time.Millisecond), bd.ConsultRounds, bd.DDLCount, bd.PlanCacheHit)
+		if bd.Replans > 0 || bd.MediatorFallback {
+			fmt.Printf("failover: replans=%d failed_over=%v mediator_fallback=%v\n",
+				bd.Replans, bd.FailedOver, bd.MediatorFallback)
+		}
 		fmt.Println("delegation plan:")
 		fmt.Print(res.Plan)
 		if *trace && res.Trace != nil {

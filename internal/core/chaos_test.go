@@ -2,6 +2,7 @@ package core
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"strings"
 	"testing"
@@ -10,6 +11,7 @@ import (
 	"xdb/internal/connector"
 	"xdb/internal/engine"
 	"xdb/internal/netsim"
+	"xdb/internal/obs"
 	"xdb/internal/sqltypes"
 	"xdb/internal/wire"
 )
@@ -374,4 +376,125 @@ func TestChaosFlakyLink(t *testing.T) {
 
 	cl.close()
 	cl.assertTransportBalanced(t)
+}
+
+// TestChaosPartitionMidStream severs the client<->root link while the
+// result stream is draining: rows are already flowing when the partition
+// lands. The query must fail with the typed transport fault attributed to
+// the root DBMS, the root's breaker must be fed exactly once, the trace
+// must close every span, cleanup must still run (the middleware's own
+// link to the root is intact), and no connection may leak.
+func TestChaosPartitionMidStream(t *testing.T) {
+	// The client sits on its own site here, so the partition cuts only
+	// the execution stream, not the middleware's control plane.
+	topo := netsim.NewTopology()
+	topo.AddNode("db1", netsim.Site("s1"))
+	topo.AddNode("xdb", netsim.Site("sm"))
+	topo.AddNode("client", netsim.Site("sc"))
+	topo.SetDefaultLink(netsim.LANLink)
+	topo.TimeScale = 1000
+
+	opts := chaosOptions()
+	eng := engine.New(engine.Config{Name: "db1", Vendor: engine.VendorTest})
+	fdw := wire.NewClientWith("db1", topo, opts.Wire)
+	defer fdw.Close()
+	eng.SetRemote(&wire.FDW{Client: fdw})
+	srv, err := wire.NewServer(eng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	sys := NewSystem("xdb", "client", topo, opts)
+	defer sys.Close()
+	mw := wire.NewClientWith("xdb", topo, opts.Wire)
+	defer mw.Close()
+	sys.Register(connector.New("db1", srv.Addr(), engine.VendorTest, mw))
+
+	// Enough rows for many row-batch frames, so the stream is genuinely
+	// mid-drain when the partition lands.
+	users := sqltypes.NewSchema(
+		sqltypes.Column{Name: "u_id", Type: sqltypes.TypeInt},
+		sqltypes.Column{Name: "u_name", Type: sqltypes.TypeString},
+	)
+	var urows []sqltypes.Row
+	for i := 0; i < 20000; i++ {
+		urows = append(urows, sqltypes.Row{
+			sqltypes.NewInt(int64(i)), sqltypes.NewString(fmt.Sprintf("user-%d", i)),
+		})
+	}
+	if err := eng.LoadTable("users", users, urows); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.RegisterTable("users", "db1"); err != nil {
+		t.Fatal(err)
+	}
+
+	// Pace the stream (wall-clock, per frame) so the watcher below can
+	// partition between row batches deterministically.
+	topo.SlowNode("db1", 10*time.Millisecond)
+	partitioned := make(chan bool, 1)
+	go func() {
+		deadline := time.Now().Add(10 * time.Second)
+		for time.Now().Before(deadline) {
+			// A couple of row frames have reached the client; many more
+			// are still to come.
+			if topo.Ledger().Between("db1", "client") > 64<<10 {
+				topo.PartitionSites(netsim.Site("s1"), netsim.Site("sc"))
+				partitioned <- true
+				return
+			}
+			time.Sleep(time.Millisecond)
+		}
+		partitioned <- false
+	}()
+
+	before := sys.NodeHealth()["db1"].Failures
+	parent := obs.NewSpan("test")
+	ctx := obs.ContextWithSpan(context.Background(), parent)
+	_, qerr := sys.QueryContext(ctx, "SELECT u.u_id, u.u_name FROM users u")
+	if !<-partitioned {
+		t.Fatal("stream never reached the partition trigger")
+	}
+	if qerr == nil {
+		t.Fatal("query succeeded across a mid-stream partition")
+	}
+	var fe *netsim.FaultError
+	if !errors.As(qerr, &fe) {
+		t.Fatalf("err = %v, want a *netsim.FaultError in the chain", qerr)
+	}
+	if fe.From != "db1" || fe.To != "client" {
+		t.Errorf("fault endpoints = %s -> %s, want db1 -> client", fe.From, fe.To)
+	}
+	// The execution failure fed db1's breaker exactly once.
+	if delta := sys.NodeHealth()["db1"].Failures - before; delta != 1 {
+		t.Errorf("db1 failure count delta = %d, want exactly 1", delta)
+	}
+	// Cleanup crossed the intact xdb<->db1 link: nothing parked, nothing
+	// left behind.
+	if n := len(sys.Orphans()); n != 0 {
+		t.Errorf("%d orphans parked despite an intact control plane", n)
+	}
+	for _, v := range eng.Catalog().ViewNames() {
+		if strings.HasPrefix(v, "xdb") {
+			t.Errorf("leftover view %s on db1", v)
+		}
+	}
+	// Every span closed, including the execute span the fault interrupted.
+	parent.FinishAll()
+	assertClosed(t, parent)
+	if parent.Find("execute") == nil {
+		t.Errorf("no execute span in trace:\n%s", parent)
+	}
+
+	// No connection leaked: the severed stream's connection was discarded,
+	// and discarded counts as closed.
+	topo.Heal()
+	sys.Close()
+	mw.Close()
+	fdw.Close()
+	for owner, c := range map[string]*wire.Client{"mw": mw, "fdw": fdw, "sys": sys.clientWire} {
+		if st := c.Transport(); st.Dials != st.Closes {
+			t.Errorf("client %s: dials=%d closes=%d — connection leak", owner, st.Dials, st.Closes)
+		}
+	}
 }

@@ -3,6 +3,7 @@ package core
 import (
 	"context"
 	"fmt"
+	"sort"
 	"strconv"
 	"strings"
 	"sync"
@@ -39,6 +40,28 @@ type Deployment struct {
 	// producer) node pair: sibling edges deploying concurrently must
 	// issue the CREATE SERVER exactly once and count it once.
 	servers map[string]*serverReg
+	// objects indexes the deployment's relations by structural signature
+	// (see taskSig/edgeSig) — both the ones this attempt created and the
+	// ones it adopted from a prior failover attempt. Mid-query failover
+	// uses the index to redeploy only the dead part of a plan.
+	objects map[string]deployedObj
+}
+
+// deployedObj is one deployed short-lived relation, addressed by the
+// structural signature of the plan fragment it implements. Signatures are
+// name-independent, so a replanned plan can recognize and reuse objects a
+// prior attempt already deployed.
+type deployedObj struct {
+	name string // created object name (view or foreign table)
+	node string // node it was created on
+	// materialized marks an explicit-movement foreign table whose rows
+	// were fetched and stored at deploy time — a completed stage whose
+	// result survives its producer's death.
+	materialized bool
+	// nodes is every node the object depends on at execution time: its
+	// host plus, transitively, the implicit-edge subtree feeding it.
+	// Reuse requires all of them healthy.
+	nodes []string
 }
 
 // serverReg tracks one in-flight or completed server registration.
@@ -82,6 +105,37 @@ func (d *Deployment) addDDL(n int) {
 	d.mu.Unlock()
 }
 
+// recordObject indexes a relation under its structural signature. Adopted
+// (reused) objects are recorded too, WITHOUT a cleanup item — the attempt
+// that created an object keeps owning its drop.
+func (d *Deployment) recordObject(sig string, obj deployedObj) {
+	d.mu.Lock()
+	if d.objects == nil {
+		d.objects = map[string]deployedObj{}
+	}
+	d.objects[sig] = obj
+	d.mu.Unlock()
+}
+
+// objectIndex snapshots the deployment's signature index.
+func (d *Deployment) objectIndex() map[string]deployedObj {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	out := make(map[string]deployedObj, len(d.objects))
+	for sig, obj := range d.objects {
+		out[sig] = obj
+	}
+	return out
+}
+
+// deployRun threads one deployment attempt through the Algorithm 1
+// traversal: the deployment being built plus the reusable-object index
+// from prior attempts (nil on a first deployment).
+type deployRun struct {
+	dep   *Deployment
+	reuse map[string]deployedObj
+}
+
 type cleanupItem struct {
 	node string
 	sql  string
@@ -93,11 +147,7 @@ type cleanupItem struct {
 // Sec. III). Cancelling the context aborts the deployment; the cleanup of
 // whatever was already deployed runs on a detached context regardless.
 func (s *System) deploy(ctx context.Context, plan *Plan, qid int64) (*Deployment, error) {
-	if ctx == nil {
-		ctx = context.Background()
-	}
-	dep := &Deployment{}
-	rootView, err := s.processTask(ctx, plan, plan.Root, qid, dep)
+	dep, err := s.deployReusing(ctx, plan, qid, nil)
 	if err != nil {
 		// Best-effort cleanup of whatever was already deployed — on a
 		// detached context, so a cancelled deployment still drops its
@@ -110,9 +160,26 @@ func (s *System) deploy(ctx context.Context, plan *Plan, qid int64) (*Deployment
 		}
 		return nil, err
 	}
-	dep.XDBQuery = "SELECT * FROM " + rootView
-	dep.Node = plan.Root.Node
 	return dep, nil
+}
+
+// deployReusing runs Algorithm 1 with an index of reusable objects from a
+// prior failover attempt: a plan fragment whose structural signature
+// matches a surviving object adopts it instead of redeploying the subtree.
+// Unlike deploy it returns the partial deployment WITH the error — failover
+// keeps the partial attempt alive for further reuse and owns dropping it.
+func (s *System) deployReusing(ctx context.Context, plan *Plan, qid int64, reuse map[string]deployedObj) (*Deployment, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	run := &deployRun{dep: &Deployment{}, reuse: reuse}
+	rootView, err := s.processTask(ctx, plan, plan.Root, qid, run)
+	if err != nil {
+		return run.dep, err
+	}
+	run.dep.XDBQuery = "SELECT * FROM " + rootView
+	run.dep.Node = plan.Root.Node
+	return run.dep, nil
 }
 
 // startDDLSpan opens one "ddl" span (tagged node and statement kind) and
@@ -146,10 +213,19 @@ func startDDLSpan(ctx context.Context, node, kind, object string, kv ...string) 
 // (deployFanout), so a wide task cannot spawn a goroutine per input. The
 // first failure cancels the siblings: workers drain without starting new
 // DDL once the task context is cancelled.
-func (s *System) processTask(ctx context.Context, plan *Plan, t *Task, qid int64, dep *Deployment) (string, error) {
+func (s *System) processTask(ctx context.Context, plan *Plan, t *Task, qid int64, run *deployRun) (string, error) {
 	conn, ok := s.connectors[t.Node]
 	if !ok {
 		return "", fmt.Errorf("core: no connector registered for node %q", t.Node)
+	}
+	sig := taskSig(t)
+	if obj, ok := run.reuse[sig]; ok {
+		// The identical fragment survives from a prior attempt: adopt its
+		// virtual relation and skip the whole subtree. The drop stays
+		// owned by the attempt that deployed it.
+		run.dep.recordObject(sig, obj)
+		t.ViewName = obj.name
+		return obj.name, nil
 	}
 	// Fail fast before descending into the subtree: deploying onto a
 	// node with an open breaker would only park more orphans.
@@ -157,7 +233,7 @@ func (s *System) processTask(ctx context.Context, plan *Plan, t *Task, qid int64
 		return "", err
 	}
 	if len(t.Inputs) > 0 {
-		if err := s.deployInputs(ctx, plan, t, qid, dep); err != nil {
+		if err := s.deployInputs(ctx, plan, t, qid, run); err != nil {
 			return "", err
 		}
 	}
@@ -185,9 +261,10 @@ func (s *System) processTask(ctx context.Context, plan *Plan, t *Task, qid int64
 		// the DDL executed): park the drop pessimistically. It renders as
 		// IF EXISTS, so sweeping a never-created object is a no-op.
 		s.orphans.add(t.Node, conn.Dialect.DropView(viewName), err.Error())
-		return "", fmt.Errorf("core: deploy view %s on %s: %w", viewName, t.Node, err)
+		return "", &nodeFaultError{node: t.Node, err: fmt.Errorf("core: deploy view %s on %s: %w", viewName, t.Node, err)}
 	}
-	dep.record(cleanupItem{node: t.Node, sql: conn.Dialect.DropView(viewName)}, 1)
+	run.dep.record(cleanupItem{node: t.Node, sql: conn.Dialect.DropView(viewName)}, 1)
+	run.dep.recordObject(sig, deployedObj{name: viewName, node: t.Node, nodes: depNodes(t)})
 	t.ViewName = viewName
 	return viewName, nil
 }
@@ -196,7 +273,7 @@ func (s *System) processTask(ctx context.Context, plan *Plan, t *Task, qid int64
 // The first error cancels the task context, stopping the feed and making
 // the remaining workers drain without deploying; the caller gets that
 // first error without waiting for work that never started.
-func (s *System) deployInputs(ctx context.Context, plan *Plan, t *Task, qid int64, dep *Deployment) error {
+func (s *System) deployInputs(ctx context.Context, plan *Plan, t *Task, qid int64, run *deployRun) error {
 	tctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 
@@ -226,7 +303,7 @@ func (s *System) deployInputs(ctx context.Context, plan *Plan, t *Task, qid int6
 					fail(err)
 					return
 				}
-				if err := s.deployInput(tctx, plan, t, edge, qid, dep); err != nil {
+				if err := s.deployInput(tctx, plan, t, edge, qid, run); err != nil {
 					fail(err)
 					return
 				}
@@ -252,15 +329,29 @@ feed:
 
 // deployInput wires one dataflow edge: the producing subtree, the SQL/MED
 // server registration, and the foreign table on the consumer.
-func (s *System) deployInput(ctx context.Context, plan *Plan, t *Task, edge *Edge, qid int64, dep *Deployment) error {
+func (s *System) deployInput(ctx context.Context, plan *Plan, t *Task, edge *Edge, qid int64, run *deployRun) error {
+	sig := edgeSig(t, edge)
+	if obj, ok := run.reuse[sig]; ok {
+		// The foreign table survives from a prior attempt — with its
+		// producing subtree still reachable (implicit movement), or with
+		// its rows already fetched and stored (explicit movement, the
+		// durable completed stage). Point the placeholder at it and skip
+		// the subtree; the drop stays owned by the attempt that made it.
+		run.dep.recordObject(sig, obj)
+		edge.Placeholder.Rel = obj.name
+		if s.opts.NoVirtualRelations && isBareScan(edge.From) {
+			edge.Placeholder.RawScan = edge.From.Root.(*Scan)
+		}
+		return nil
+	}
 	// A4 ablation: a child task that is a bare (filtered, pruned) scan is
 	// not wrapped in a virtual relation — the foreign table points
 	// straight at the base table, relying on the wrapper's (absent)
 	// pushdown.
 	if s.opts.NoVirtualRelations && isBareScan(edge.From) {
-		return s.deployRawForeign(ctx, t, edge, qid, dep)
+		return s.deployRawForeign(ctx, t, edge, qid, run)
 	}
-	childView, err := s.processTask(ctx, plan, edge.From, qid, dep)
+	childView, err := s.processTask(ctx, plan, edge.From, qid, run)
 	if err != nil {
 		return err
 	}
@@ -270,7 +361,7 @@ func (s *System) deployInput(ctx context.Context, plan *Plan, t *Task, edge *Edg
 	// CREATE SERVER, exactly once per (consumer, producer) pair even when
 	// sibling edges deploy concurrently.
 	serverName := "xdbsrv_" + edge.From.Node
-	if err := s.deployServerOnce(ctx, dep, conn, t.Node, serverName, childConn.Addr, edge.From.Node); err != nil {
+	if err := s.deployServerOnce(ctx, run.dep, conn, t.Node, serverName, childConn.Addr, edge.From.Node); err != nil {
 		return err
 	}
 
@@ -286,7 +377,11 @@ func (s *System) deployInput(ctx context.Context, plan *Plan, t *Task, edge *Edg
 	if err != nil {
 		return err
 	}
-	dep.record(cleanupItem{node: t.Node, sql: conn.Dialect.DropTable(ftName)}, 1)
+	run.dep.record(cleanupItem{node: t.Node, sql: conn.Dialect.DropTable(ftName)}, 1)
+	run.dep.recordObject(sig, deployedObj{
+		name: ftName, node: t.Node, materialized: materialize,
+		nodes: ftDepNodes(t, edge, materialize),
+	})
 
 	// Replace the ? in the task's instruction (lines 10–12).
 	edge.Placeholder.Rel = ftName
@@ -318,7 +413,7 @@ func (s *System) deployForeign(ctx context.Context, conn *connector.Connector, n
 		// Ambiguous outcome: park the drop (IF EXISTS makes it a no-op if
 		// the table never materialized).
 		s.orphans.add(node, conn.Dialect.DropTable(ftName), err.Error())
-		return fmt.Errorf("core: deploy foreign table %s on %s: %w", ftName, node, err)
+		return &nodeFaultError{node: node, err: fmt.Errorf("core: deploy foreign table %s on %s: %w", ftName, node, err)}
 	}
 	return nil
 }
@@ -332,12 +427,12 @@ func isBareScan(t *Task) bool {
 
 // deployRawForeign wires an A4-ablation edge: a foreign table over the
 // child's base table, exposing the full base schema.
-func (s *System) deployRawForeign(ctx context.Context, t *Task, edge *Edge, qid int64, dep *Deployment) error {
+func (s *System) deployRawForeign(ctx context.Context, t *Task, edge *Edge, qid int64, run *deployRun) error {
 	conn := s.connectors[t.Node]
 	scan := edge.From.Root.(*Scan)
 	childConn := s.connectors[edge.From.Node]
 	serverName := "xdbsrv_" + edge.From.Node
-	if err := s.deployServerOnce(ctx, dep, conn, t.Node, serverName, childConn.Addr, edge.From.Node); err != nil {
+	if err := s.deployServerOnce(ctx, run.dep, conn, t.Node, serverName, childConn.Addr, edge.From.Node); err != nil {
 		return err
 	}
 	ftName := fmt.Sprintf("xdb%d_ft%d", qid, edge.From.ID)
@@ -345,10 +440,15 @@ func (s *System) deployRawForeign(ctx context.Context, t *Task, edge *Edge, qid 
 	for i, c := range scan.Schema.Columns {
 		cols[i] = sqltypes.Column{Name: c.Name, Type: c.Type}
 	}
-	if err := s.deployForeign(ctx, conn, t.Node, ftName, cols, serverName, scan.Table, edge.Move == MoveExplicit); err != nil {
+	materialize := edge.Move == MoveExplicit
+	if err := s.deployForeign(ctx, conn, t.Node, ftName, cols, serverName, scan.Table, materialize); err != nil {
 		return err
 	}
-	dep.record(cleanupItem{node: t.Node, sql: conn.Dialect.DropTable(ftName)}, 1)
+	run.dep.record(cleanupItem{node: t.Node, sql: conn.Dialect.DropTable(ftName)}, 1)
+	run.dep.recordObject(edgeSig(t, edge), deployedObj{
+		name: ftName, node: t.Node, materialized: materialize,
+		nodes: ftDepNodes(t, edge, materialize),
+	})
 	edge.Placeholder.Rel = ftName
 	edge.Placeholder.RawScan = scan
 	return nil
@@ -371,11 +471,101 @@ func (s *System) deployServerOnce(ctx context.Context, dep *Deployment, conn *co
 		done(err)
 		s.health.record(onNode, err)
 		if err != nil {
-			return fmt.Errorf("core: deploy server %s on %s: %w", serverName, onNode, err)
+			return &nodeFaultError{node: onNode, err: fmt.Errorf("core: deploy server %s on %s: %w", serverName, onNode, err)}
 		}
 		dep.addDDL(1)
 		return nil
 	})
+}
+
+// taskSig returns a structural, name-independent signature of a task: the
+// node it runs on plus its fragment's operator tree, recursing through
+// placeholders into the producing subtrees. Two tasks with equal
+// signatures deploy semantically identical objects (the created names
+// differ only by qid), which is what lets a replanned plan recognize and
+// reuse a prior attempt's surviving deployments.
+func taskSig(t *Task) string {
+	ph := make(map[*Placeholder]*Edge, len(t.Inputs))
+	for _, e := range t.Inputs {
+		ph[e.Placeholder] = e
+	}
+	return "t|" + t.Node + "|" + opSig(t.Root, ph)
+}
+
+// edgeSig identifies one dataflow edge's foreign table: the consuming
+// node, the movement, and the producing subtree.
+func edgeSig(t *Task, e *Edge) string {
+	return "ft|" + t.Node + "|" + e.Move.String() + "|" + taskSig(e.From)
+}
+
+// opSig renders one fragment operator structurally (no deployment names).
+func opSig(op Op, ph map[*Placeholder]*Edge) string {
+	switch o := op.(type) {
+	case *Scan:
+		filter := ""
+		if o.Filter != nil {
+			filter = o.Filter.String()
+		}
+		return fmt.Sprintf("scan(%s,%s,[%s],%s)", o.Table, o.Alias, strings.Join(o.Cols, ","), filter)
+	case *Join:
+		keys := make([]string, len(o.Keys))
+		for i, k := range o.Keys {
+			keys[i] = k.L.String() + "=" + k.R.String()
+		}
+		res := make([]string, len(o.Residual))
+		for i, r := range o.Residual {
+			res[i] = r.String()
+		}
+		return fmt.Sprintf("join(%s,%s,[%s],[%s])",
+			opSig(o.L, ph), opSig(o.R, ph), strings.Join(keys, ","), strings.Join(res, ","))
+	case *Final:
+		return fmt.Sprintf("final(%s,%s)", opSig(o.In, ph), o.Sel.String())
+	case *Placeholder:
+		e, ok := ph[o]
+		if !ok {
+			// Unreachable for finalized plans; keep it deterministic.
+			return fmt.Sprintf("ph?(%s,[%s])", o.Move, strings.Join(o.Cols, ","))
+		}
+		return fmt.Sprintf("ph(%s,[%s],%s)", o.Move, strings.Join(o.Cols, ","), taskSig(e.From))
+	default:
+		return fmt.Sprintf("%T", op)
+	}
+}
+
+// depNodes returns every node a task's virtual relation touches at
+// execution time: its own, plus — through implicit edges only — its
+// producing subtrees'. Explicit edges cut the dependency: their foreign
+// tables were materialized at deploy time, so the producer side need not
+// survive.
+func depNodes(t *Task) []string {
+	seen := map[string]bool{}
+	var walk func(t *Task)
+	walk = func(t *Task) {
+		seen[t.Node] = true
+		for _, e := range t.Inputs {
+			if e.Move == MoveExplicit {
+				continue
+			}
+			walk(e.From)
+		}
+	}
+	walk(t)
+	out := make([]string, 0, len(seen))
+	for n := range seen {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ftDepNodes returns the nodes a foreign table needs alive at execution
+// time: its host, plus the producing subtree unless the rows were already
+// materialized.
+func ftDepNodes(t *Task, e *Edge, materialized bool) []string {
+	if materialized {
+		return []string{t.Node}
+	}
+	return append([]string{t.Node}, depNodes(e.From)...)
 }
 
 // cleanupDeployment drops the query's short-lived relations in reverse

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math/rand"
 	"sync"
 	"time"
 )
@@ -17,15 +18,23 @@ import (
 // through, and the first success closes it again. Closing a breaker also
 // fires the recovery hook, which the System uses to sweep the node's
 // orphaned short-lived relations (see orphans.go).
+//
+// The backoff window is exponential with jitter: each consecutive open
+// doubles the base window (capped at BreakerBackoffMax) and the actual
+// wait is drawn uniformly from [window/2, window], so concurrent queries
+// don't retry a flapping node in lockstep.
 
-// Breaker defaults; override via Options.BreakerThreshold/BreakerBackoff.
+// Breaker defaults; override via Options.BreakerThreshold/BreakerBackoff/
+// BreakerBackoffMax.
 const (
 	// DefaultBreakerThreshold is the consecutive-failure count that opens
 	// a node's breaker.
 	DefaultBreakerThreshold = 3
-	// DefaultBreakerBackoff is how long an open breaker fails fast before
-	// going half-open.
+	// DefaultBreakerBackoff is the base window an open breaker fails fast
+	// before going half-open; consecutive opens double it.
 	DefaultBreakerBackoff = 2 * time.Second
+	// DefaultBreakerBackoffMax caps the exponential backoff window.
+	DefaultBreakerBackoffMax = 30 * time.Second
 )
 
 // BreakerState is the circuit state of one node.
@@ -86,12 +95,20 @@ type nodeHealthState struct {
 	fails, oks  int64
 	lastErr     string
 	openedAt    time.Time
+	// openCount counts consecutive opens without an intervening close; it
+	// drives the exponential backoff and resets when the breaker closes.
+	openCount int
+	// retryAt is when the current open window ends (jittered exponential).
+	retryAt time.Time
 }
 
 // healthTracker aggregates per-node breakers. Safe for concurrent use.
 type healthTracker struct {
-	threshold int
-	backoff   time.Duration
+	threshold  int
+	backoff    time.Duration
+	backoffMax time.Duration
+	// rng draws backoff jitter; guarded by mu.
+	rng *rand.Rand
 	// onRecover fires (outside the lock) when a node's breaker closes
 	// after having been open or half-open.
 	onRecover func(node string)
@@ -106,18 +123,26 @@ type healthTracker struct {
 	nodes map[string]*nodeHealthState
 }
 
-func newHealthTracker(threshold int, backoff time.Duration, onRecover func(node string)) *healthTracker {
+func newHealthTracker(threshold int, backoff, backoffMax time.Duration, onRecover func(node string)) *healthTracker {
 	if threshold <= 0 {
 		threshold = DefaultBreakerThreshold
 	}
 	if backoff <= 0 {
 		backoff = DefaultBreakerBackoff
 	}
+	if backoffMax <= 0 {
+		backoffMax = DefaultBreakerBackoffMax
+	}
+	if backoffMax < backoff {
+		backoffMax = backoff
+	}
 	return &healthTracker{
-		threshold: threshold,
-		backoff:   backoff,
-		onRecover: onRecover,
-		nodes:     map[string]*nodeHealthState{},
+		threshold:  threshold,
+		backoff:    backoff,
+		backoffMax: backoffMax,
+		rng:        rand.New(rand.NewSource(time.Now().UnixNano())),
+		onRecover:  onRecover,
+		nodes:      map[string]*nodeHealthState{},
 	}
 }
 
@@ -128,6 +153,25 @@ func (h *healthTracker) state(node string) *nodeHealthState {
 		h.nodes[node] = st
 	}
 	return st
+}
+
+// openLocked transitions the node's breaker to open and computes its
+// jittered exponential retry window. Caller holds h.mu.
+func (h *healthTracker) openLocked(st *nodeHealthState) {
+	st.state = BreakerOpen
+	st.openedAt = time.Now()
+	st.openCount++
+	d := h.backoff
+	for i := 1; i < st.openCount && d < h.backoffMax; i++ {
+		d *= 2
+	}
+	if d > h.backoffMax {
+		d = h.backoffMax
+	}
+	// Jitter into [d/2, d] so concurrent queries don't probe in lockstep.
+	d = d/2 + time.Duration(h.rng.Int63n(int64(d/2)+1))
+	st.retryAt = st.openedAt.Add(d)
+	met.breaker.With("open").Inc()
 }
 
 // record feeds one RPC outcome into the node's breaker. A caller
@@ -148,6 +192,7 @@ func (h *healthTracker) record(node string, err error) {
 		st.consecFails = 0
 		if st.state != BreakerClosed {
 			st.state = BreakerClosed
+			st.openCount = 0
 			met.breaker.With("closed").Inc()
 			recovered = true
 			transitioned, entered = true, BreakerClosed
@@ -158,16 +203,12 @@ func (h *healthTracker) record(node string, err error) {
 		st.lastErr = err.Error()
 		switch st.state {
 		case BreakerHalfOpen:
-			// The probe failed: re-open and restart the backoff window.
-			st.state = BreakerOpen
-			st.openedAt = time.Now()
-			met.breaker.With("open").Inc()
+			// The probe failed: re-open with a doubled backoff window.
+			h.openLocked(st)
 			transitioned, entered = true, BreakerOpen
 		case BreakerClosed:
 			if st.consecFails >= h.threshold {
-				st.state = BreakerOpen
-				st.openedAt = time.Now()
-				met.breaker.With("open").Inc()
+				h.openLocked(st)
 				transitioned, entered = true, BreakerOpen
 			}
 		}
@@ -191,8 +232,7 @@ func (h *healthTracker) allow(node string) error {
 		h.mu.Unlock()
 		return nil
 	}
-	until := st.openedAt.Add(h.backoff)
-	if time.Now().Before(until) {
+	if until := st.retryAt; time.Now().Before(until) {
 		h.mu.Unlock()
 		return &NodeUnavailableError{Node: node, Until: until}
 	}
@@ -214,7 +254,37 @@ func (h *healthTracker) healthy(node string) bool {
 	if !ok || st.state != BreakerOpen {
 		return true
 	}
-	return !time.Now().Before(st.openedAt.Add(h.backoff))
+	return !time.Now().Before(st.retryAt)
+}
+
+// tripNode forces the node's breaker open regardless of its consecutive
+// failure count. Failover uses it when a fault is attributed mid-query:
+// one node-attributable execution fault is proof enough that the node must
+// not be a placement candidate for the replanned suffix, and the transition
+// hook's cache invalidation (consult + plan caches) must fire before the
+// replan. Caller cancellation is a non-signal, as in record.
+func (h *healthTracker) tripNode(node string, err error) {
+	if err == nil || errors.Is(err, context.Canceled) {
+		return
+	}
+	var transitioned bool
+	h.mu.Lock()
+	st := h.state(node)
+	st.lastErr = err.Error()
+	if st.consecFails < h.threshold {
+		st.consecFails = h.threshold
+	}
+	// Already open inside its window: nothing to do (the fault was likely
+	// fed by record already). Open but past the window, half-open, or
+	// closed: (re-)open.
+	if st.state != BreakerOpen || !time.Now().Before(st.retryAt) {
+		h.openLocked(st)
+		transitioned = true
+	}
+	h.mu.Unlock()
+	if transitioned && h.onTransition != nil {
+		h.onTransition(node, BreakerOpen)
+	}
 }
 
 // snapshot returns the health of every node seen so far.

@@ -33,6 +33,8 @@ var met = struct {
 	breaker        *obs.CounterVec // by entered state
 	orphansParked  *obs.Counter
 	orphansSwept   *obs.Counter
+	replans        *obs.CounterVec // by outcome
+	failovers      *obs.Counter
 }{
 	queries: obs.Default.CounterVec("xdb_queries_total",
 		"Queries by outcome: ok, error, canceled, shed_overload, shed_timeout, shed_draining.", "outcome"),
@@ -68,6 +70,10 @@ var met = struct {
 		"Short-lived relations parked after a failed drop."),
 	orphansSwept: obs.Default.Counter("xdb_orphans_swept_total",
 		"Parked relations collected by the janitor."),
+	replans: obs.Default.CounterVec("xdb_replans_total",
+		"Mid-query failover replan attempts by outcome: recovered, failed, fallback.", "outcome"),
+	failovers: obs.Default.Counter("xdb_failover_total",
+		"Queries that survived a mid-query fault (suffix replan or mediator fallback)."),
 }
 
 // queryOutcome maps a QueryContext result to its metrics label.

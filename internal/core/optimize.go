@@ -59,10 +59,35 @@ type Options struct {
 	// fast and planning degrades around it. Zero means
 	// DefaultBreakerThreshold.
 	BreakerThreshold int
-	// BreakerBackoff is how long an open breaker fails fast before
-	// half-opening to probe the node again. Zero means
+	// BreakerBackoff is the base window an open breaker fails fast before
+	// half-opening to probe the node again; consecutive opens double the
+	// window (with jitter) up to BreakerBackoffMax. Zero means
 	// DefaultBreakerBackoff.
 	BreakerBackoff time.Duration
+	// BreakerBackoffMax caps the exponential breaker backoff window. Zero
+	// means DefaultBreakerBackoffMax; values below BreakerBackoff are
+	// raised to it.
+	BreakerBackoffMax time.Duration
+
+	// MaxReplans is how many times one query may re-plan and re-deploy
+	// after a node-attributable mid-query fault (crash, partition, open
+	// breaker, deadline-expired wedged node — never a caller cancellation
+	// or a SQL error). Each replan excludes the failed node, reuses the
+	// surviving deployed fragments, and backs off with jitter
+	// (ReplanBackoff base). Zero (the paper configuration) fails the query
+	// on the first mid-query fault, exactly as before.
+	MaxReplans int
+	// ReplanBackoff is the base jittered wait between failover attempts;
+	// attempt n waits ~ReplanBackoff·2ⁿ. Zero means DefaultReplanBackoff.
+	ReplanBackoff time.Duration
+	// MediatorFallback, when set, finishes a query locally after in-situ
+	// placement is exhausted (replans spent or no surviving candidate
+	// site): the per-scan fragments still reachable are shipped to the
+	// middleware and joined by the embedded engine, mediator-style.
+	// Results are flagged with Breakdown.MediatorFallback. Off by default
+	// — the fallback trades the paper's in-situ efficiency for
+	// availability, and it bypasses remote operator pushdown.
+	MediatorFallback bool
 
 	// ConsultCacheTTL enables the cross-query consult cache: successful
 	// CostOperator probe results are memoized per (node, operator kind,

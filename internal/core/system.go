@@ -84,6 +84,12 @@ type System struct {
 	// CacheStats reuses table statistics across queries instead of
 	// re-gathering them during every preparation phase.
 	CacheStats bool
+
+	// hookBeforeAttempt, when set, runs right before each failover
+	// attempt's execution phase (attempt 0 is the original run). Test
+	// seam for chaos tests that must kill a node after deployment but
+	// before execution.
+	hookBeforeAttempt func(attempt int)
 }
 
 // NewSystem creates the middleware. topo may be nil (no shaping or
@@ -105,7 +111,7 @@ func NewSystem(middlewareNode, clientNode string, topo *netsim.Topology, opts Op
 		plans:      newPlanCache(opts.PlanCacheSize, opts.DeploymentTTL),
 		planStop:   make(chan struct{}),
 	}
-	s.health = newHealthTracker(opts.BreakerThreshold, opts.BreakerBackoff, s.nodeRecovered)
+	s.health = newHealthTracker(opts.BreakerThreshold, opts.BreakerBackoff, opts.BreakerBackoffMax, s.nodeRecovered)
 	// Any breaker transition invalidates the node's cached consult
 	// entries — costs consulted before an outage say nothing about the
 	// node during or after it — and its cached plans, whose deployed
@@ -297,6 +303,19 @@ type Breakdown struct {
 	// reports whether it waited in the admission queue at all.
 	AdmissionWait time.Duration
 	Queued        bool
+	// Replans counts the mid-query failover attempts this query spent: a
+	// node died during delegation or execution, and the unexecuted suffix
+	// was re-planned around it (Options.MaxReplans). Zero on a fault-free
+	// run. The phase timings above accumulate across attempts.
+	Replans int
+	// FailedOver reports that the query hit a node-attributable fault and
+	// still returned a correct result — via a suffix replan or the
+	// mediator fallback.
+	FailedOver bool
+	// MediatorFallback reports that the query finished on the
+	// middleware's embedded engine (Options.MediatorFallback) because no
+	// in-situ placement survived the fault.
+	MediatorFallback bool
 }
 
 // Total returns the end-to-end time, admission wait included — a queued
@@ -469,7 +488,7 @@ func (s *System) plan(ctx context.Context, sql string, bd *Breakdown) (*Plan, er
 	if err != nil {
 		return nil, err
 	}
-	bd.Prep = time.Since(start)
+	bd.Prep += time.Since(start)
 
 	// --- Logical optimization: pushdowns happened during build; order
 	// the joins.
@@ -482,7 +501,7 @@ func (s *System) plan(ctx context.Context, sql string, bd *Breakdown) (*Plan, er
 		return nil, err
 	}
 	root := &Final{In: joined, Sel: canon}
-	bd.Lopt = time.Since(start)
+	bd.Lopt += time.Since(start)
 
 	// --- Annotation and finalization.
 	start = time.Now()
@@ -502,10 +521,12 @@ func (s *System) plan(ctx context.Context, sql string, bd *Breakdown) (*Plan, er
 	}
 	annSpan.Finish()
 	plan := finalize(root, ann, collectColTypes(b))
-	bd.Ann = time.Since(start)
-	bd.ConsultRounds = ann.ConsultRounds
-	bd.DegradedProbes = ann.DegradedProbes
-	bd.CachedProbes = ann.CachedProbes
+	// Accumulate, not assign: a mid-query failover replans, and the
+	// breakdown reports the query's total planning spend.
+	bd.Ann += time.Since(start)
+	bd.ConsultRounds += ann.ConsultRounds
+	bd.DegradedProbes += ann.DegradedProbes
+	bd.CachedProbes += ann.CachedProbes
 	met.consults.Add(int64(ann.ConsultRounds))
 	met.degraded.Add(int64(ann.DegradedProbes))
 	return plan, nil
@@ -720,106 +741,23 @@ func (s *System) QueryContext(ctx context.Context, sql string) (res *Result, err
 
 	bd = Breakdown{AdmissionWait: wait, Queued: queued}
 
-	// --- Plan cache: a warm repeat of an identical statement skips
-	// planning, consultation, and delegation entirely — the deployed views
-	// are still live under the entry's lease, so the query goes straight
-	// to execution with DDLCount 0.
-	var ent *planEntry
+	// The plan-cache key is the canonical rendering of the parsed
+	// statement, so formatting differences (case of keywords, whitespace)
+	// hit the same entry. An unparsable statement skips the cache and
+	// fails inside the pipeline with the real parse error.
 	var cacheKey string
 	if s.plans != nil {
-		// The key is the canonical rendering of the parsed statement, so
-		// formatting differences (case of keywords, whitespace) hit the
-		// same entry. An unparsable statement skips the cache and fails in
-		// s.plan with the real parse error.
 		if sel, perr := sqlparser.ParseSelect(sql); perr == nil {
 			cacheKey = sel.String()
-			ent = s.plans.acquire(cacheKey)
-		}
-	}
-	var dep *Deployment
-	if ent != nil {
-		plan, dep = ent.plan, ent.dep
-		bd.PlanCacheHit = true
-		qspan.Set("plan_cache", "hit")
-	} else {
-		plan, err = s.plan(ctx, sql, &bd)
-		if err != nil {
-			return nil, err
-		}
-
-		// --- Delegation: deploy the plan as DDL.
-		start := time.Now()
-		dctx, delegSpan := obs.Start(ctx, "delegate")
-		qid := s.seq.Add(1)
-		dep, err = s.deploy(dctx, plan, qid)
-		delegSpan.SetErr(err)
-		if dep != nil {
-			delegSpan.Set("ddls", strconv.Itoa(dep.DDLCount))
-		}
-		delegSpan.Finish()
-		if err != nil {
-			return nil, err
-		}
-		bd.Deleg = time.Since(start)
-		bd.DDLCount = dep.DDLCount
-
-		// Cache the fresh deployment under this query's own lease; idle
-		// victims evicted for capacity drop in the background.
-		if cacheKey != "" {
-			var evicted []*planEntry
-			ent, evicted = s.plans.put(cacheKey, plan, dep)
-			for _, ev := range evicted {
-				s.dropDeploymentAsync(ev.dep)
-			}
 		}
 	}
 
-	// --- Execution: the client runs the XDB query on the root DBMS; data
-	// flows only between DBMSes and, for the final result, to the client.
-	// The caller's context bounds the read, so a hung root DBMS fails the
-	// query instead of parking it forever.
-	start := time.Now()
-	eres, execErr := s.executeDeployment(ctx, qspan, dep)
-	bd.Exec = time.Since(start)
-
-	// Cleanup regardless of the execution outcome, on a detached context
-	// (see cleanupCtx). An uncached deployment drops per-query as always.
-	// A cached one normally just returns its lease — the objects stay warm
-	// for the next repeat — but an execution failure poisons the entry (its
-	// objects may be partially gone) and the last lease out drops it. A
-	// failed drop parks the object in the orphan registry instead of
-	// failing an otherwise successful query — the janitor owns it from
-	// here.
-	var cleanupErr error
-	switch {
-	case ent == nil:
-		cleanupErr = s.cleanupDeployment(ctx, dep)
-	case execErr != nil:
-		if s.plans.invalidate(ent) {
-			cleanupErr = s.cleanupDeployment(ctx, dep)
-		}
-	default:
-		if s.plans.release(ent) {
-			cleanupErr = s.cleanupDeployment(ctx, dep)
-		}
-	}
-	if execErr != nil {
-		// The execution error carries the cleanup outcome instead of
-		// silently dropping it, mirroring deploy()'s failure path.
-		if cleanupErr != nil {
-			return nil, fmt.Errorf("%w (cleanup after failure: %v)", execErr, cleanupErr)
-		}
-		return nil, execErr
-	}
-	return &Result{
-		Result:     eres,
-		Plan:       plan,
-		Breakdown:  bd,
-		XDBQuery:   dep.XDBQuery,
-		RootNode:   dep.Node,
-		CleanupErr: cleanupErr,
-		Trace:      qspan,
-	}, nil
+	// The plan→deploy→execute pipeline runs inside the failover loop: a
+	// node-attributable mid-query fault re-plans the unexecuted suffix
+	// around the dead node, up to Options.MaxReplans times (see
+	// failover.go). With MaxReplans 0 — the paper's configuration — the
+	// first fault fails the query exactly as before.
+	return s.runWithFailover(ctx, qspan, sql, cacheKey, &bd, &plan)
 }
 
 // NoConnectorError reports an execution attempt against a node no
@@ -850,7 +788,13 @@ func (s *System) executeDeployment(ctx context.Context, qspan *obs.Span, dep *De
 		execSpan.AddRows(int64(len(eres.Rows)))
 	}
 	execSpan.SetErr(err)
-	return eres, err
+	if err != nil {
+		// Attribute the execution stream's failure to the root DBMS so the
+		// failover classifier can pin a bare deadline on a node. The
+		// wrapper is message-transparent.
+		return eres, &nodeFaultError{node: dep.Node, err: err}
+	}
+	return eres, nil
 }
 
 // truncateSQL bounds the SQL text attached to spans and log records,
@@ -896,6 +840,15 @@ func (s *System) logSlowQuery(sql string, wall time.Duration, bd *Breakdown, pla
 	}
 	if bd.CachedProbes > 0 {
 		attrs = append(attrs, "cached_probes", bd.CachedProbes)
+	}
+	if bd.Replans > 0 {
+		attrs = append(attrs, "replans", bd.Replans)
+	}
+	if bd.FailedOver {
+		attrs = append(attrs, "failed_over", true)
+	}
+	if bd.MediatorFallback {
+		attrs = append(attrs, "mediator_fallback", true)
 	}
 	if plan != nil {
 		attrs = append(attrs, "plan", planShape(plan))

@@ -203,6 +203,54 @@ func TestTraceCancelledQueryWellFormed(t *testing.T) {
 	}
 }
 
+// TestTraceFailoverWellFormed runs the kill-after-deploy failover with
+// tracing on and asserts the trace tells the whole story in one closed
+// tree: two delegate spans, two execute spans (the severed one carrying
+// the fault), and a replan span between them with the cause and the
+// excluded node.
+func TestTraceFailoverWellFormed(t *testing.T) {
+	opts := failoverOptions()
+	opts.Trace = true
+	cl := newFailoverCluster(t, opts)
+	if _, err := cl.sys.Query(failoverQuery); err != nil {
+		t.Fatal(err)
+	}
+
+	cl.sys.hookBeforeAttempt = func(attempt int) {
+		if attempt == 0 && !cl.topo.Crashed("db3") {
+			cl.topo.CrashNode("db3")
+		}
+	}
+	res, err := cl.sys.Query(failoverQuery)
+	cl.sys.hookBeforeAttempt = nil
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := res.Trace
+	assertClosed(t, tr)
+	if got := tr.Count("execute"); got != 2 {
+		t.Errorf("execute spans = %d, want 2 (severed + resumed):\n%s", got, tr)
+	}
+	if got := tr.Count("delegate"); got != 2 {
+		t.Errorf("delegate spans = %d, want 2 (original + suffix redeploy):\n%s", got, tr)
+	}
+	if got := tr.Count("replan"); got != 1 {
+		t.Fatalf("replan spans = %d, want 1:\n%s", got, tr)
+	}
+	rsp := tr.Find("replan")
+	if rsp.Attr("cause") != "fault" || rsp.Attr("excluded") != "db3" || rsp.Attr("attempt") != "1" {
+		t.Errorf("replan attrs = cause=%q excluded=%q attempt=%q, want fault/db3/1",
+			rsp.Attr("cause"), rsp.Attr("excluded"), rsp.Attr("attempt"))
+	}
+	if rsp.Err() == "" {
+		t.Error("replan span carries no error — the fault that caused it is lost")
+	}
+	execSevered := tr.Find("execute")
+	if execSevered.Err() == "" {
+		t.Error("first execute span carries no error despite the severed stream")
+	}
+}
+
 // TestBreakdownTotalIncludesAdmissionWait is the regression test for the
 // Total() fix: a queued query's Total must cover its full wall time, not
 // just the processing share.

@@ -307,118 +307,14 @@ func (f *fragment) render() error {
 
 // executeLocal loads the fetched fragments into a fresh mediator engine
 // and runs the residual query (cross-database joins + the final block).
+// The fragment-loading and rewrite machinery is shared with the
+// middleware's mediator fallback (core.ExecuteLocal); what stays here is
+// the mediator's own cost profile.
 func (m *Mediator) executeLocal(a *core.Analysis, frags []*fragment, cross []sqlparser.Expr) (*engine.Result, error) {
 	eng := engine.New(engine.Config{Name: m.cfg.Node, Vendor: engine.VendorPostgres, Profile: &m.profile})
-
-	// Resolution: global column identity -> (fragment table alias,
-	// mangled name).
-	resolve := map[string][2]string{}
+	locals := make([]core.LocalFragment, len(frags))
 	for i, f := range frags {
-		name := fmt.Sprintf("frag%d", i)
-		schema := &sqltypes.Schema{}
-		for _, gid := range f.cols {
-			idx, err := f.schema.Resolve("", core.MangleCol(gid))
-			if err != nil {
-				return nil, err
-			}
-			schema.Columns = append(schema.Columns, sqltypes.Column{
-				Name: core.MangleCol(gid), Type: f.schema.Columns[idx].Type,
-			})
-			resolve[strings.ToLower(gid)] = [2]string{name, core.MangleCol(gid)}
-		}
-		if err := eng.LoadTable(name, schema, f.rows); err != nil {
-			return nil, err
-		}
+		locals[i] = core.LocalFragment{Cols: f.cols, Schema: f.schema, Rows: f.rows}
 	}
-
-	rewrite := func(e sqlparser.Expr) (sqlparser.Expr, error) {
-		if e == nil {
-			return nil, nil
-		}
-		out := sqlparser.CloneExpr(e)
-		var err error
-		sqlparser.WalkExpr(out, func(x sqlparser.Expr) {
-			cr, ok := x.(*sqlparser.ColumnRef)
-			if !ok || cr.Table == "" || err != nil {
-				return
-			}
-			loc, ok := resolve[strings.ToLower(cr.Table+"."+cr.Name)]
-			if !ok {
-				err = fmt.Errorf("mediator: column %s.%s not in any fragment", cr.Table, cr.Name)
-				return
-			}
-			cr.Table, cr.Name = loc[0], loc[1]
-		})
-		return out, err
-	}
-
-	final := &sqlparser.Select{Limit: a.Canon.Limit, Distinct: a.Canon.Distinct}
-	for i := range frags {
-		final.From = append(final.From, sqlparser.TableRef{Name: fmt.Sprintf("frag%d", i)})
-	}
-	var conjs []sqlparser.Expr
-	for _, c := range cross {
-		rc, err := rewrite(c)
-		if err != nil {
-			return nil, err
-		}
-		conjs = append(conjs, rc)
-	}
-	final.Where = sqlparser.JoinConjuncts(conjs)
-	projOut := map[string]string{}
-	for _, p := range a.Canon.Projections {
-		re, err := rewrite(p.Expr)
-		if err != nil {
-			return nil, err
-		}
-		alias := p.Alias
-		if alias == "" {
-			if cr, ok := p.Expr.(*sqlparser.ColumnRef); ok {
-				alias = cr.Name
-			}
-		}
-		out := alias
-		if out == "" {
-			out = re.String()
-		}
-		if _, dup := projOut[re.String()]; !dup {
-			projOut[re.String()] = out
-		}
-		final.Projections = append(final.Projections, sqlparser.SelectExpr{Expr: re, Alias: alias})
-	}
-	for _, g := range a.Canon.GroupBy {
-		rg, err := rewrite(g)
-		if err != nil {
-			return nil, err
-		}
-		final.GroupBy = append(final.GroupBy, rg)
-	}
-	if a.Canon.Having != nil {
-		rh, err := rewrite(a.Canon.Having)
-		if err != nil {
-			return nil, err
-		}
-		final.Having = rh
-	}
-	for _, o := range a.Canon.OrderBy {
-		ro, err := rewrite(o.Expr)
-		if err != nil {
-			return nil, err
-		}
-		// ORDER BY resolves against the projected output.
-		if out, ok := projOut[ro.String()]; ok {
-			ro = &sqlparser.ColumnRef{Name: out}
-		}
-		final.OrderBy = append(final.OrderBy, sqlparser.OrderItem{Expr: ro, Desc: o.Desc})
-	}
-
-	schema, it, err := eng.QuerySelect(final)
-	if err != nil {
-		return nil, err
-	}
-	rows, err := engine.Drain(it)
-	if err != nil {
-		return nil, err
-	}
-	return &engine.Result{Schema: schema, Rows: rows}, nil
+	return core.ExecuteLocal(eng, a.Canon, locals, cross)
 }

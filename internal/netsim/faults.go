@@ -23,6 +23,10 @@ import (
 //   - SetFlake — a link drops each frame with a probability and/or adds
 //     extra per-frame delay: the gray-failure mode that exercises the
 //     transport's retry and breaker paths without a hard failure.
+//   - SlowNode — a wedged-but-alive process: every frame and handshake
+//     touching the node is delayed by a fixed wall-clock amount without
+//     failing. This is the failure mode that only deadlines catch, and it
+//     is what lets failover tests distinguish slow from dead.
 //
 // Faults are consulted by Transfer and Handshake, so they apply to fresh
 // dials and to frames riding pooled connections alike. The flake RNG is
@@ -59,6 +63,7 @@ type faultState struct {
 	crashed    map[string]bool
 	partitions map[[2]Site]bool
 	flakes     map[[2]Site]Flake
+	slow       map[string]time.Duration
 
 	rngMu sync.Mutex
 	rng   *rand.Rand
@@ -72,6 +77,7 @@ func (t *Topology) faults() *faultState {
 			crashed:    map[string]bool{},
 			partitions: map[[2]Site]bool{},
 			flakes:     map[[2]Site]Flake{},
+			slow:       map[string]time.Duration{},
 			rng:        rand.New(rand.NewSource(1)),
 		}
 	}
@@ -152,6 +158,36 @@ func (t *Topology) SetFlake(a, b Site, f Flake) {
 		fs.flakes[siteKey(a, b)] = f
 	}
 	t.mu.Unlock()
+}
+
+// SlowNode injects a fixed per-frame (and per-handshake) delay on every
+// path touching the node, modelling a wedged-but-alive process: requests
+// still succeed, they just take forever, so only deadline-driven paths
+// notice. A delay <= 0 clears the injection. Unlike link shaping the delay
+// is wall-clock — deliberately NOT divided by the topology's TimeScale —
+// because it models a stuck process, not a slow wire, and tests need it to
+// reliably outlast real request deadlines.
+func (t *Topology) SlowNode(node string, delay time.Duration) {
+	t.mu.Lock()
+	fs := t.faults()
+	if delay <= 0 {
+		delete(fs.slow, node)
+	} else {
+		fs.slow[node] = delay
+	}
+	t.mu.Unlock()
+}
+
+// slowDelay returns the injected wedged-process delay for a path: the sum
+// over both endpoints, so traffic between two slow nodes is doubly slow.
+func (t *Topology) slowDelay(from, to string) time.Duration {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	f := t.fault
+	if f == nil || len(f.slow) == 0 {
+		return 0
+	}
+	return f.slow[from] + f.slow[to]
 }
 
 // LinkFault returns the deterministic fault (crash or partition) currently

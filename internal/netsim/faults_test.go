@@ -155,3 +155,52 @@ func TestFaultsConcurrentAccess(t *testing.T) {
 	}
 	<-done
 }
+
+func TestSlowNodeDelaysTransfers(t *testing.T) {
+	top := Unshaped("a", "b", "c")
+	// Wall-clock delay: TimeScale must not shrink it — a wedged process
+	// is slow in real time, not simulated time.
+	top.TimeScale = 1000
+	top.SlowNode("b", 30*time.Millisecond)
+
+	start := time.Now()
+	if err := top.Transfer("a", "b", 1); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed < 30*time.Millisecond {
+		t.Errorf("transfer to slow node took %v, want >= 30ms", elapsed)
+	}
+	// Either endpoint being slow delays the frame; both sum.
+	start = time.Now()
+	if err := top.Transfer("b", "a", 1); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed < 30*time.Millisecond {
+		t.Errorf("transfer from slow node took %v, want >= 30ms", elapsed)
+	}
+	start = time.Now()
+	if err := top.Handshake("a", "b"); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed < 30*time.Millisecond {
+		t.Errorf("handshake with slow node took %v, want >= 30ms", elapsed)
+	}
+	// Bystander traffic is unaffected.
+	start = time.Now()
+	if err := top.Transfer("a", "c", 1); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed > 20*time.Millisecond {
+		t.Errorf("bystander transfer took %v", elapsed)
+	}
+
+	// A non-positive delay clears the stall.
+	top.SlowNode("b", 0)
+	start = time.Now()
+	if err := top.Transfer("a", "b", 1); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed > 20*time.Millisecond {
+		t.Errorf("transfer after clearing took %v", elapsed)
+	}
+}

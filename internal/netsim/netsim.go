@@ -253,13 +253,12 @@ func (t *Topology) Transfer(from, to string, n int) error {
 	t.ledger.Add(from, to, int64(n))
 	spec := t.Link(from, to)
 	d := spec.shapeDelay(n) + extra
-	if d <= 0 {
-		return nil
-	}
-	scale := t.TimeScale
-	if scale > 1 {
+	if scale := t.TimeScale; scale > 1 && d > 0 {
 		d = time.Duration(float64(d) / scale)
 	}
+	// Wedged-process delay is wall-clock: added after scaling so SlowNode
+	// reliably outlasts real deadlines regardless of TimeScale.
+	d += t.slowDelay(from, to)
 	if d > 0 {
 		time.Sleep(d)
 	}
@@ -286,12 +285,10 @@ func (t *Topology) Handshake(from, to string) error {
 	}
 	spec := t.Link(from, to)
 	d := 2*spec.Latency + extra
-	if d <= 0 {
-		return nil
-	}
-	if scale := t.TimeScale; scale > 1 {
+	if scale := t.TimeScale; scale > 1 && d > 0 {
 		d = time.Duration(float64(d) / scale)
 	}
+	d += t.slowDelay(from, to)
 	if d > 0 {
 		time.Sleep(d)
 	}

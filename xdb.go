@@ -26,6 +26,7 @@ package xdb
 import (
 	"context"
 	"net/http"
+	"time"
 
 	"xdb/internal/connector"
 	"xdb/internal/core"
@@ -89,6 +90,9 @@ type (
 	// Flake degrades one link with probabilistic frame loss and extra
 	// delay.
 	Flake = netsim.Flake
+	// LinkSpec sets a link's bandwidth and latency (Cluster.SetLink);
+	// placement follows link cost, so a slow link steers delegation.
+	LinkSpec = netsim.LinkSpec
 	// FaultError is the error surfaced by RPCs that crossed an injected
 	// fault (crashed node, partition, dropped frame).
 	FaultError = netsim.FaultError
@@ -409,9 +413,21 @@ func (c *Cluster) Heal() { c.tb.Topo.Heal() }
 // loss and extra delay; a zero Flake restores the link.
 func (c *Cluster) SetFlake(a, b Site, f Flake) { c.tb.Topo.SetFlake(a, b, f) }
 
+// SetLink overrides the bandwidth and latency of the link between two
+// sites. Placement follows link cost, so a slow link steers delegation
+// away from the pair.
+func (c *Cluster) SetLink(a, b Site, spec LinkSpec) { c.tb.Topo.SetLink(a, b, spec) }
+
 // SetFaultSeed fixes the RNG behind probabilistic faults, making flaky-
 // link drops reproducible.
 func (c *Cluster) SetFaultSeed(seed int64) { c.tb.Topo.SetFaultSeed(seed) }
+
+// SlowNode stalls every frame from or to the node by the given wall-clock
+// delay — a wedged-but-alive process, as opposed to CrashNode's dead one.
+// A non-positive delay clears the stall. With Options.MaxReplans set, a
+// stall past the request deadline triggers mid-query failover classified
+// as "slow" rather than "fault".
+func (c *Cluster) SlowNode(node string, delay time.Duration) { c.tb.Topo.SlowNode(node, delay) }
 
 // NodeHealth reports every DBMS node's breaker state and RPC counters.
 func (c *Cluster) NodeHealth() map[string]NodeHealth { return c.tb.System.NodeHealth() }
