@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet bench bench-transport bench-obs bench-annotate bench-deploy chaos chaos-failover soak check
+.PHONY: build test race vet bench bench-transport bench-obs bench-annotate bench-deploy bench-reopt chaos chaos-failover chaos-reopt soak check
 
 build:
 	$(GO) build ./...
@@ -30,6 +30,13 @@ chaos:
 chaos-failover:
 	$(GO) test -race -count=1 -v -run 'TestFailover|TestChaosPartitionMidStream|TestTraceFailoverWellFormed' ./internal/core/
 
+# Re-optimization drill: skewed statistics, threshold boundaries,
+# cross-query stats feedback, and a node kill in the middle of a
+# re-optimization, under the race detector (DESIGN.md "Adaptive
+# mid-query re-optimization").
+chaos-reopt:
+	$(GO) test -race -count=1 -v -run 'TestReopt' ./internal/core/
+
 # Concurrency soak: burst admission, staggered mid-query cancellation,
 # and drain-under-load against a live cluster, under the race detector.
 soak:
@@ -58,5 +65,11 @@ bench-annotate:
 # views at real network speed (EXPERIMENTS.md "Deployment latency").
 bench-deploy:
 	$(GO) test -run '^$$' -bench='BenchmarkDeploy' -benchtime=50x -count=1 ./internal/core/
+
+# The barrier-overhead A/B: the same join with re-optimization off vs on,
+# accurate vs skewed statistics (EXPERIMENTS.md "Adaptive
+# re-optimization").
+bench-reopt:
+	$(GO) test -run '^$$' -bench='BenchmarkReopt' -benchtime=100x -count=1 ./internal/core/
 
 check: build vet test

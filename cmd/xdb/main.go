@@ -25,6 +25,8 @@
 //	-repeat <n>       run the query n times (shows plan-cache warmup)
 //	-max-replans <n>  re-plan around up to n mid-query node faults
 //	-mediator-fallback  finish on the middleware when replans are exhausted
+//	-max-reopts <n>   re-optimize the suffix around up to n misestimates
+//	-reopt-threshold <f>  estimate-vs-actual ratio that triggers one (default 4)
 package main
 
 import (
@@ -53,6 +55,8 @@ func main() {
 	repeat := flag.Int("repeat", 1, "run the query this many times (shows plan-cache warmup)")
 	maxReplans := flag.Int("max-replans", 0, "re-plan around up to n mid-query node faults (0 disables failover)")
 	mediatorFallback := flag.Bool("mediator-fallback", false, "finish on the middleware when replans are exhausted")
+	maxReopts := flag.Int("max-reopts", 0, "re-optimize the unexecuted suffix around up to n cardinality misestimates (0 disables)")
+	reoptThreshold := flag.Float64("reopt-threshold", 0, "estimate-vs-actual ratio that triggers a re-optimization (default 4)")
 	flag.Parse()
 
 	if flag.NArg() < 1 {
@@ -85,6 +89,8 @@ func main() {
 			DeploymentTTL:      *deployTTL,
 			MaxReplans:         *maxReplans,
 			MediatorFallback:   *mediatorFallback,
+			MaxReopts:          *maxReopts,
+			ReoptThreshold:     *reoptThreshold,
 		},
 	})
 	if err != nil {
@@ -147,6 +153,10 @@ func main() {
 		if bd.Replans > 0 || bd.MediatorFallback {
 			fmt.Printf("failover: replans=%d failed_over=%v mediator_fallback=%v\n",
 				bd.Replans, bd.FailedOver, bd.MediatorFallback)
+		}
+		if bd.Reopts > 0 || bd.EstimateErrors > 0 {
+			fmt.Printf("reopt: reopts=%d estimate_errors=%d\n",
+				bd.Reopts, bd.EstimateErrors)
 		}
 		fmt.Println("delegation plan:")
 		fmt.Print(res.Plan)

@@ -289,6 +289,47 @@ func clamp01(f float64) float64 {
 	return f
 }
 
+// applyCardFeedback substitutes observed cardinalities into a logical
+// plan before annotation: any subtree whose logical signature (see
+// logicalSig) matches a feedback key takes the observed row count as its
+// estimate, and every ancestor join re-derives its estimate from the
+// corrected inputs. Feedback keys are recorded at materialization
+// barriers (observeMaterialized), so during a mid-query suffix
+// re-optimization the annotator costs the unexecuted remainder with
+// actuals instead of the estimates that just proved wrong. Matching is
+// best-effort — a re-ordered join tree may contain none of the observed
+// subtrees, in which case only the scan-level corrections (and the
+// refreshed catalog statistics) apply. Returns how many subtrees were
+// overridden.
+func applyCardFeedback(op Op, fb map[string]float64) int {
+	if len(fb) == 0 {
+		return 0
+	}
+	n := 0
+	switch x := op.(type) {
+	case *Scan:
+		if rows, ok := fb[logicalSig(x, nil)]; ok {
+			x.est = math.Max(rows, 1)
+			n++
+		}
+	case *Join:
+		n += applyCardFeedback(x.L, fb)
+		n += applyCardFeedback(x.R, fb)
+		est := estimateJoin(x.L, x.R, x.Keys)
+		for _, res := range x.Residual {
+			est *= exprSelectivity(res)
+		}
+		x.est = math.Max(est, 1)
+		if rows, ok := fb[logicalSig(x, nil)]; ok {
+			x.est = math.Max(rows, 1)
+			n++
+		}
+	case *Final:
+		n += applyCardFeedback(x.In, fb)
+	}
+	return n
+}
+
 // estimateJoin estimates equi-join output with per-key distinct counts:
 // |L||R| / prod over keys of max(d_L, d_R), capped at the cross product.
 func estimateJoin(l, r Op, keys []JoinKey) float64 {

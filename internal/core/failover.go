@@ -192,18 +192,39 @@ func (s *System) replanWait(ctx context.Context, attempt int) error {
 }
 
 // runWithFailover is QueryContext's plan→deploy→execute core, wrapped in
-// the failover loop. bd accumulates across attempts (phase times add up;
-// Replans counts the failover attempts). planOut exposes the last plan for
-// the slow-query log.
+// the recovery loop shared by both halves of adaptive re-optimization:
+// node-attributable faults re-plan around the dead site (bounded by
+// Options.MaxReplans), and cardinality feedback from materialization
+// barriers re-plans the unexecuted suffix with observed row counts
+// substituted (bounded by Options.MaxReopts; see reopt.go). bd
+// accumulates across attempts (phase times add up; Replans counts the
+// fault attempts, Reopts the cardinality ones). planOut exposes the last
+// plan for the slow-query log.
 func (s *System) runWithFailover(ctx context.Context, qspan *obs.Span, sql, cacheKey string, bd *Breakdown, planOut **Plan) (*Result, error) {
 	excluded := map[string]bool{}
 	var (
 		plan *Plan
-		// prior is the newest failed attempt's deployment, retired the
-		// older ones — this query owns their drops, and until then their
-		// surviving objects feed the reuse index.
+		// prior is the newest retired attempt's deployment (failed, or
+		// superseded by a re-optimization), retired the older ones — this
+		// query owns their drops, and until then their surviving objects
+		// feed the reuse index.
 		prior   *Deployment
 		retired []*Deployment
+		// feedback accumulates observed cardinalities by logical
+		// signature across attempts; armCause names what armed the
+		// current replan attempt ("fault" or "reopt") so a failed attempt
+		// is attributed to the right metric.
+		feedback map[string]float64
+		armCause string
+		// reoptArmed marks an attempt whose replan was triggered by
+		// cardinality feedback; preSig is the superseded plan's structural
+		// signature (for the improved/unchanged verdict) and fbPlan/fbDep
+		// the intact deployment to fall back to if the re-optimization
+		// itself cannot produce a plan.
+		reoptArmed bool
+		preSig     string
+		fbPlan     *Plan
+		fbDep      *Deployment
 	)
 
 	// cleanupOwned drops the failed attempts' deployments, newest first —
@@ -254,14 +275,41 @@ func (s *System) runWithFailover(ctx context.Context, qspan *obs.Span, sql, cach
 		return nil, failErr
 	}
 
+	// retire parks the current attempt's deployment (poisoning its cached
+	// entry, if any) so its surviving objects seed the next attempt's
+	// reuse index. A cached entry's deployment joins the reuse set only
+	// when this query held the last lease — otherwise another query's
+	// release owns the drop, and reuse would race it.
+	retire := func(ent *planEntry, dep *Deployment) {
+		if ent != nil {
+			if s.plans.invalidate(ent) {
+				if prior != nil {
+					retired = append(retired, prior)
+				}
+				prior = dep
+			}
+			return
+		}
+		if dep != nil {
+			if prior != nil {
+				retired = append(retired, prior)
+			}
+			prior = dep
+		}
+	}
+
 	for attempt := 0; ; attempt++ {
 		// --- Plan. Only the first attempt may hit the plan cache; a
 		// replan always runs the pipeline so degraded planning can
-		// exclude the tripped node.
+		// exclude a tripped node and re-annotation can consume the
+		// cardinality feedback.
 		var ent *planEntry
 		var dep *Deployment
+		hit := false
+		usedFallback := false
 		if attempt == 0 && cacheKey != "" {
 			ent = s.plans.acquire(cacheKey)
+			hit = ent != nil
 		}
 		if ent != nil {
 			plan, dep = ent.plan, ent.dep
@@ -269,49 +317,80 @@ func (s *System) runWithFailover(ctx context.Context, qspan *obs.Span, sql, cach
 			bd.PlanCacheHit = true
 			qspan.Set("plan_cache", "hit")
 		} else {
-			p, perr := s.plan(ctx, sql, bd)
+			p, perr := s.plan(ctx, sql, bd, feedback)
 			if perr != nil {
 				if attempt == 0 {
 					return nil, perr
 				}
-				// The replan itself failed — typically no healthy
-				// placement survives. In-situ recovery is exhausted.
-				met.replans.With("failed").Inc()
-				return exit(perr, true)
-			}
-			plan = p
-			*planOut = plan
-
-			// --- Delegation: deploy the plan as DDL, adopting surviving
-			// objects from failed attempts.
-			start := time.Now()
-			dctx, delegSpan := obs.Start(ctx, "delegate")
-			qid := s.seq.Add(1)
-			var derr error
-			dep, derr = s.deployReusing(dctx, plan, qid, s.reuseIndex(prior, retired, excluded))
-			delegSpan.SetErr(derr)
-			if dep != nil {
-				delegSpan.Set("ddls", strconv.Itoa(dep.DDLCount))
-			}
-			delegSpan.Finish()
-			bd.Deleg += time.Since(start)
-			if dep != nil {
-				bd.DDLCount += dep.DDLCount
-			}
-			if derr != nil {
-				if retry, res, rerr := s.settleFailure(ctx, qspan, bd, derr, false, attempt, excluded, &ent, &dep, &prior, &retired, exit); !retry {
-					return res, rerr
+				if reoptArmed && fbPlan != nil {
+					// The re-optimization itself could not produce a plan
+					// (a node died between the barrier and the replan).
+					// The superseded deployment is intact — execute it
+					// instead of failing a query the cluster can still
+					// answer; a fault there falls through to the fault
+					// loop as usual.
+					met.reopts.With("failed").Inc()
+					reoptArmed = false
+					usedFallback = true
+					plan, dep = fbPlan, fbDep
+					*planOut = plan
+					fsp := qspan.Child("reopt_fallback")
+					fsp.SetErr(perr)
+					fsp.Finish()
+				} else {
+					// The replan itself failed — typically no healthy
+					// placement survives. In-situ recovery is exhausted.
+					met.replans.With("failed").Inc()
+					return exit(perr, true)
 				}
-				continue
-			}
-			// Cache only clean first-attempt deployments: a failover
-			// deployment may lean on objects owned by retired attempts,
-			// which must drop when this query ends.
-			if attempt == 0 && cacheKey != "" {
-				var evicted []*planEntry
-				ent, evicted = s.plans.put(cacheKey, plan, dep)
-				for _, ev := range evicted {
-					s.dropDeploymentAsync(ev.dep)
+			} else {
+				plan = p
+				*planOut = plan
+				if reoptArmed {
+					// The verdict: did the corrected costing actually
+					// change the plan (placement or movement), or merely
+					// confirm it?
+					if taskSig(plan.Root) != preSig {
+						met.reopts.With("improved").Inc()
+					} else {
+						met.reopts.With("unchanged").Inc()
+					}
+					reoptArmed = false
+				}
+
+				// --- Delegation: deploy the plan as DDL, adopting
+				// surviving objects from prior attempts — in particular
+				// every already materialized stage.
+				start := time.Now()
+				dctx, delegSpan := obs.Start(ctx, "delegate")
+				qid := s.seq.Add(1)
+				var derr error
+				dep, derr = s.deployReusing(dctx, plan, qid, s.reuseIndex(prior, retired, excluded))
+				delegSpan.SetErr(derr)
+				if dep != nil {
+					delegSpan.Set("ddls", strconv.Itoa(dep.DDLCount))
+				}
+				delegSpan.Finish()
+				bd.Deleg += time.Since(start)
+				if dep != nil {
+					bd.DDLCount += dep.DDLCount
+				}
+				if derr != nil {
+					if retry, res, rerr := s.settleFailure(ctx, qspan, bd, derr, false, attempt, armCause, excluded, &ent, &dep, &prior, &retired, exit); !retry {
+						return res, rerr
+					}
+					armCause = "fault"
+					continue
+				}
+				// Cache only clean first-attempt deployments: a failover
+				// deployment may lean on objects owned by retired
+				// attempts, which must drop when this query ends.
+				if attempt == 0 && cacheKey != "" {
+					var evicted []*planEntry
+					ent, evicted = s.plans.put(cacheKey, plan, dep)
+					for _, ev := range evicted {
+						s.dropDeploymentAsync(ev.dep)
+					}
 				}
 			}
 		}
@@ -320,6 +399,59 @@ func (s *System) runWithFailover(ctx context.Context, qspan *obs.Span, sql, cach
 		if s.hookBeforeAttempt != nil {
 			s.hookBeforeAttempt(attempt)
 		}
+
+		// --- Cardinality feedback (Options.MaxReopts): force each
+		// materialized stage with a COUNT(*) barrier and read back the
+		// actual row count before running the XDB query. A divergence
+		// beyond the threshold retires this deployment and re-plans the
+		// unexecuted suffix with the actual substituted; the barrier's
+		// stored rows are adopted by the next attempt, so the probe's
+		// work is never wasted. Warm plan-cache hits skip the barriers —
+		// their estimates were vetted when the deployment was first
+		// built — and a fallback execution skips re-probing what it
+		// already observed.
+		if s.opts.MaxReopts > 0 && !hit && !usedFallback {
+			if feedback == nil {
+				feedback = map[string]float64{}
+			}
+			ostart := time.Now()
+			trigger, actual, oerr := s.observeMaterialized(ctx, qspan, plan, feedback)
+			bd.Exec += time.Since(ostart)
+			if oerr != nil {
+				// The barrier probe hit a node fault: settle it exactly
+				// like an execution failure (single breaker feed).
+				if retry, res, rerr := s.settleFailure(ctx, qspan, bd, oerr, true, attempt, armCause, excluded, &ent, &dep, &prior, &retired, exit); !retry {
+					return res, rerr
+				}
+				armCause = "fault"
+				continue
+			}
+			if trigger != nil {
+				bd.EstimateErrors++
+				if bd.Reopts < s.opts.MaxReopts {
+					bd.Reopts++
+					retire(ent, dep)
+					ent = nil
+					reoptArmed = true
+					preSig = taskSig(plan.Root)
+					fbPlan, fbDep = plan, dep
+					armCause = "reopt"
+					rsp := qspan.Child("reopt")
+					rsp.Set("cause", "cardinality")
+					rsp.Set("node", trigger.To.Node)
+					rsp.Set("rel", trigger.Placeholder.Rel)
+					rsp.Set("est", strconv.FormatFloat(trigger.EstRows, 'f', 0, 64))
+					rsp.Set("actual", strconv.FormatFloat(actual, 'f', 0, 64))
+					rsp.Set("attempt", strconv.Itoa(attempt+1))
+					rsp.Finish()
+					// No exclusion, no breaker trip, no backoff: the
+					// cluster is healthy — only the estimate was wrong.
+					continue
+				}
+				// Budget spent: run the current plan to completion.
+			}
+		}
+
 		start := time.Now()
 		eres, execErr := s.executeDeployment(ctx, qspan, dep)
 		bd.Exec += time.Since(start)
@@ -332,13 +464,16 @@ func (s *System) runWithFailover(ctx context.Context, qspan *obs.Span, sql, cach
 				if s.plans.release(ent) {
 					cleanupErr = s.cleanupDeployment(ctx, dep)
 				}
-			} else {
+			} else if !usedFallback {
 				cleanupErr = s.cleanupDeployment(ctx, dep)
 			}
+			// usedFallback: dep was already retired into the owned chain
+			// (cleanupOwned drops it below), or is still leased by another
+			// query whose release owns the drop.
 			if cerr := cleanupOwned(); cerr != nil {
 				cleanupErr = errors.Join(cleanupErr, cerr)
 			}
-			if attempt > 0 {
+			if bd.Replans > 0 {
 				bd.FailedOver = true
 				met.replans.With("recovered").Inc()
 				met.failovers.Inc()
@@ -354,9 +489,10 @@ func (s *System) runWithFailover(ctx context.Context, qspan *obs.Span, sql, cach
 			}, nil
 		}
 
-		if retry, res, rerr := s.settleFailure(ctx, qspan, bd, execErr, true, attempt, excluded, &ent, &dep, &prior, &retired, exit); !retry {
+		if retry, res, rerr := s.settleFailure(ctx, qspan, bd, execErr, true, attempt, armCause, excluded, &ent, &dep, &prior, &retired, exit); !retry {
 			return res, rerr
 		}
+		armCause = "fault"
 	}
 }
 
@@ -364,9 +500,12 @@ func (s *System) runWithFailover(ctx context.Context, qspan *obs.Span, sql, cach
 // the breaker (execution phase only — deploy RPC sites already record),
 // retire the attempt's deployment while keeping its objects reusable, and
 // either arm the next attempt (retry=true) or finish through exit.
+// armCause names what armed the failing attempt — a fault-armed replan
+// that fails again counts on the replan metric, while a reopt-armed
+// attempt's outcome was already accounted when its plan was produced.
 func (s *System) settleFailure(
 	ctx context.Context, qspan *obs.Span, bd *Breakdown,
-	failErr error, execPhase bool, attempt int, excluded map[string]bool,
+	failErr error, execPhase bool, attempt int, armCause string, excluded map[string]bool,
 	ent **planEntry, dep **Deployment, prior **Deployment, retired *[]*Deployment,
 	exit func(error, bool) (*Result, error),
 ) (retry bool, res *Result, err error) {
@@ -376,7 +515,7 @@ func (s *System) settleFailure(
 		// fed it at their own call sites.
 		s.health.record(node, failErr)
 	}
-	if attempt > 0 {
+	if attempt > 0 && armCause != "reopt" {
 		met.replans.With("failed").Inc()
 	}
 	// Retire the attempt's deployment without dropping it: its surviving
@@ -398,7 +537,10 @@ func (s *System) settleFailure(
 		}
 		*prior = *dep
 	}
-	if !retriable || node == "" || attempt >= s.opts.MaxReplans {
+	// The fault budget is MaxReplans fault-armed attempts (bd.Replans),
+	// not loop iterations — re-optimizations share the loop but must not
+	// consume the budget that keeps a faulty cluster recoverable.
+	if !retriable || node == "" || bd.Replans >= s.opts.MaxReplans {
 		res, err = exit(failErr, retriable && node != "")
 		return false, res, err
 	}
@@ -415,7 +557,7 @@ func (s *System) settleFailure(
 	rsp.Set("attempt", strconv.Itoa(attempt+1))
 	rsp.SetErr(failErr)
 	rsp.Finish()
-	if werr := s.replanWait(ctx, attempt); werr != nil {
+	if werr := s.replanWait(ctx, bd.Replans-1); werr != nil {
 		res, err = exit(failErr, false)
 		return false, res, err
 	}

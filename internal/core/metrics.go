@@ -34,6 +34,7 @@ var met = struct {
 	orphansParked  *obs.Counter
 	orphansSwept   *obs.Counter
 	replans        *obs.CounterVec // by outcome
+	reopts         *obs.CounterVec // by outcome
 	failovers      *obs.Counter
 }{
 	queries: obs.Default.CounterVec("xdb_queries_total",
@@ -72,6 +73,8 @@ var met = struct {
 		"Parked relations collected by the janitor."),
 	replans: obs.Default.CounterVec("xdb_replans_total",
 		"Mid-query failover replan attempts by outcome: recovered, failed, fallback.", "outcome"),
+	reopts: obs.Default.CounterVec("xdb_reopts_total",
+		"Mid-query cardinality re-optimizations by outcome: improved (corrected costing changed the plan), unchanged, failed.", "outcome"),
 	failovers: obs.Default.Counter("xdb_failover_total",
 		"Queries that survived a mid-query fault (suffix replan or mediator fallback)."),
 }

@@ -88,6 +88,24 @@ type Options struct {
 	// — the fallback trades the paper's in-situ efficiency for
 	// availability, and it bypasses remote operator pushdown.
 	MediatorFallback bool
+	// MaxReopts is how many times one query may re-optimize its
+	// unexecuted suffix after an observed cardinality contradicted the
+	// estimate: each explicit-movement (materialized) stage is a
+	// barrier where the actual row count is read back and compared
+	// against the plan's annotation-time estimate; a divergence beyond
+	// ReoptThreshold re-runs annotation for the rest of the plan with
+	// the observed cardinalities substituted, reusing every already
+	// deployed (and in particular every already materialized) fragment.
+	// Zero (the paper configuration) disables the feedback loop
+	// entirely — no barrier is probed and plans are never revised
+	// mid-query. Re-optimizations do not consume the MaxReplans fault
+	// budget.
+	MaxReopts int
+	// ReoptThreshold is the estimate-vs-actual cardinality ratio (in
+	// either direction) a materialized edge must exceed — strictly — to
+	// trigger a suffix re-optimization. Zero means
+	// DefaultReoptThreshold.
+	ReoptThreshold float64
 
 	// ConsultCacheTTL enables the cross-query consult cache: successful
 	// CostOperator probe results are memoized per (node, operator kind,

@@ -70,6 +70,12 @@ type System struct {
 	// statsCache caches per-table statistics between queries when
 	// CacheStats is on.
 	statsCache sync.Map // table name -> *engine.TableStats
+	// statsFeedback holds per-table cardinality corrections derived from
+	// observed actuals at materialization barriers (see
+	// feedObservedRows); fetchTableMetadata substitutes a correction for
+	// the stale snapshot it was derived against until the source reports
+	// genuinely new statistics.
+	statsFeedback sync.Map // table name -> *statsOverride
 	// consults memoizes consultation probe results across queries when
 	// Options.ConsultCacheTTL is set (nil otherwise; see
 	// consultcache.go for the freshness rules).
@@ -316,6 +322,18 @@ type Breakdown struct {
 	// middleware's embedded engine (Options.MediatorFallback) because no
 	// in-situ placement survived the fault.
 	MediatorFallback bool
+	// Reopts counts the mid-query cardinality re-optimizations this
+	// query spent: a materialized stage's actual row count diverged from
+	// the annotation-time estimate beyond Options.ReoptThreshold, and
+	// the unexecuted suffix was re-annotated with the observed
+	// cardinality substituted (Options.MaxReopts). Zero with accurate
+	// statistics, and always zero when MaxReopts is 0.
+	Reopts int
+	// EstimateErrors counts the materialization barriers whose observed
+	// cardinality contradicted the estimate beyond the threshold — the
+	// misestimations the feedback loop caught, whether or not the
+	// re-optimization budget allowed acting on them.
+	EstimateErrors int
 }
 
 // Total returns the end-to-end time, admission wait included — a queued
@@ -458,11 +476,16 @@ func (s *System) PlanContext(ctx context.Context, sql string) (*Plan, *Breakdown
 		ctx = context.Background()
 	}
 	bd := &Breakdown{}
-	plan, err := s.plan(ctx, sql, bd)
+	plan, err := s.plan(ctx, sql, bd, nil)
 	return plan, bd, err
 }
 
-func (s *System) plan(ctx context.Context, sql string, bd *Breakdown) (*Plan, error) {
+// plan runs the optimizer pipeline. feedback, when non-empty, carries
+// observed cardinalities keyed by logical signature (see reopt.go): they
+// are substituted into the logical plan before annotation, so Rule 4
+// prices placements and movements against actuals instead of the
+// estimates a materialization barrier just disproved.
+func (s *System) plan(ctx context.Context, sql string, bd *Breakdown, feedback map[string]float64) (*Plan, error) {
 	// --- Preparation: parse, analyze, gather metadata through the DCs.
 	start := time.Now()
 	pctx, prepSpan := obs.Start(ctx, "prep")
@@ -501,6 +524,7 @@ func (s *System) plan(ctx context.Context, sql string, bd *Breakdown) (*Plan, er
 		return nil, err
 	}
 	root := &Final{In: joined, Sel: canon}
+	applyCardFeedback(root, feedback)
 	bd.Lopt += time.Since(start)
 
 	// --- Annotation and finalization.
@@ -624,6 +648,22 @@ func (s *System) fetchTableMetadata(ctx context.Context, key string, info *Table
 			s.catalog.Put(updated) // keep the schema: partial beats absent
 			mdSpan.SetErr(err)
 			return err
+		}
+		// A cardinality-feedback override substitutes the observed-rows
+		// correction for a stale snapshot the node still reports. The
+		// first substitution trips the statsEqual change detection below
+		// — invalidating consulted costs and cached plans built on the
+		// stale estimates — after which the catalog holds the corrected
+		// statistics and the path is quiescent. If the node reports
+		// anything but the snapshot the correction was derived against,
+		// the table genuinely changed and the override is dropped.
+		if ov, ok := s.statsFeedback.Load(key); ok {
+			o := ov.(*statsOverride)
+			if statsEqual(o.base, st) {
+				st = o.corrected
+			} else {
+				s.statsFeedback.Delete(key)
+			}
 		}
 		// A refresh that actually changed the table's statistics drops
 		// the node's consult-cache entries — costs consulted against the
@@ -843,6 +883,12 @@ func (s *System) logSlowQuery(sql string, wall time.Duration, bd *Breakdown, pla
 	}
 	if bd.Replans > 0 {
 		attrs = append(attrs, "replans", bd.Replans)
+	}
+	if bd.Reopts > 0 {
+		attrs = append(attrs, "reopts", bd.Reopts)
+	}
+	if bd.EstimateErrors > 0 {
+		attrs = append(attrs, "estimate_errors", bd.EstimateErrors)
 	}
 	if bd.FailedOver {
 		attrs = append(attrs, "failed_over", true)

@@ -11,6 +11,7 @@ package engine
 import (
 	"fmt"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -40,6 +41,14 @@ type Engine struct {
 
 	// queriesServed counts executed SELECTs, for tests and introspection.
 	queriesServed atomic.Int64
+
+	// statsSkew holds per-table row-count distortion factors (SkewStats):
+	// Stats reports RowCount scaled by the factor while scans still return
+	// the true rows. Emulates the stale/skewed statistics real DBMSes
+	// report between ANALYZE runs; used by the testbed to exercise XDB's
+	// cardinality-feedback loop.
+	skewMu    sync.Mutex
+	statsSkew map[string]float64
 }
 
 // Config configures an engine instance.
@@ -348,7 +357,7 @@ func explainText(b *strings.Builder, n *planNode, depth int) {
 // planning its query), or foreign table (fetched from the remote).
 func (e *Engine) Stats(table string) (*TableStats, error) {
 	if t, ok := e.catalog.Table(table); ok {
-		return t.Stats, nil
+		return e.skewed(table, t.Stats), nil
 	}
 	if v, ok := e.catalog.View(table); ok {
 		node, err := e.planSelect(v.Query)
@@ -368,6 +377,65 @@ func (e *Engine) Stats(table string) (*TableStats, error) {
 		return e.remote.StatsRemote(srv, f.RemoteTable)
 	}
 	return nil, fmt.Errorf("engine %s: unknown relation %q", e.name, table)
+}
+
+// SkewStats distorts the statistics this engine reports for a base
+// table: Stats returns RowCount (and per-column distinct counts) scaled
+// by factor, while scans keep returning the true rows. A factor of 1 (or
+// <= 0) removes the distortion. This emulates the stale statistics a
+// real DBMS serves between ANALYZE runs — the estimates say one thing,
+// the data says another — which is exactly the condition XDB's
+// mid-query cardinality feedback is built to survive.
+func (e *Engine) SkewStats(table string, factor float64) error {
+	if _, ok := e.catalog.Table(table); !ok {
+		return fmt.Errorf("engine %s: unknown base table %q", e.name, table)
+	}
+	key := strings.ToLower(table)
+	e.skewMu.Lock()
+	defer e.skewMu.Unlock()
+	if factor <= 0 || factor == 1 {
+		delete(e.statsSkew, key)
+		return nil
+	}
+	if e.statsSkew == nil {
+		e.statsSkew = make(map[string]float64)
+	}
+	e.statsSkew[key] = factor
+	return nil
+}
+
+// skewed applies the table's registered distortion factor to a stats
+// snapshot, returning a scaled copy. The scaling is deterministic, so
+// repeated fetches of an unchanged (but skewed) table still compare
+// equal — stale-cache invalidation only fires when the truth moves.
+func (e *Engine) skewed(table string, st *TableStats) *TableStats {
+	e.skewMu.Lock()
+	factor, ok := e.statsSkew[strings.ToLower(table)]
+	e.skewMu.Unlock()
+	if !ok || st == nil {
+		return st
+	}
+	rows := int64(float64(st.RowCount) * factor)
+	if rows < 1 {
+		rows = 1
+	}
+	out := &TableStats{
+		RowCount:    rows,
+		AvgRowBytes: st.AvgRowBytes,
+		Columns:     make([]ColumnStats, len(st.Columns)),
+	}
+	copy(out.Columns, st.Columns)
+	for i := range out.Columns {
+		d := int64(float64(out.Columns[i].Distinct) * factor)
+		if d < 1 && out.Columns[i].Distinct > 0 {
+			d = 1
+		}
+		if d > rows {
+			d = rows
+		}
+		out.Columns[i].Distinct = d
+	}
+	return out
 }
 
 // estimateRowBytes guesses an encoded row width from the schema (strings

@@ -178,6 +178,24 @@ func NewTPCH(tdName string, sf float64, cfg Config) (*Testbed, error) {
 // ResetTransfers clears the transfer ledger (between experiment runs).
 func (tb *Testbed) ResetTransfers() { tb.Topo.Ledger().Reset() }
 
+// SkewStats distorts the statistics the owning engine reports for a
+// table (RowCount and distinct counts scaled by factor) while scans keep
+// returning the true rows — the stale-ANALYZE condition the adaptive
+// re-optimization experiments inject. A factor of 1 removes the
+// distortion. The table is resolved through XDB's catalog, so it must
+// already be registered (LoadTable).
+func (tb *Testbed) SkewStats(table string, factor float64) error {
+	info, ok := tb.System.Catalog().Lookup(table)
+	if !ok {
+		return fmt.Errorf("testbed: table %q not in catalog", table)
+	}
+	n, ok := tb.Nodes[info.Node]
+	if !ok {
+		return fmt.Errorf("testbed: catalog places %q on unknown node %q", table, info.Node)
+	}
+	return n.Engine.SkewStats(table, factor)
+}
+
 // Connectors returns the system's connectors keyed by node, for the
 // baseline systems which share XDB's access paths to the DBMSes.
 func (tb *Testbed) Connectors() map[string]*connector.Connector {

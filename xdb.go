@@ -159,6 +159,12 @@ const (
 	MoveExplicit = core.MoveExplicit
 )
 
+// DefaultReoptThreshold is the estimate-vs-actual cardinality ratio a
+// materialized stage must exceed (strictly, either direction) to trigger
+// a mid-query re-optimization when Options.ReoptThreshold is unset and
+// Options.MaxReopts > 0.
+const DefaultReoptThreshold = core.DefaultReoptThreshold
+
 // Emulated vendors.
 const (
 	VendorPostgres = engine.VendorPostgres
@@ -428,6 +434,17 @@ func (c *Cluster) SetFaultSeed(seed int64) { c.tb.Topo.SetFaultSeed(seed) }
 // stall past the request deadline triggers mid-query failover classified
 // as "slow" rather than "fault".
 func (c *Cluster) SlowNode(node string, delay time.Duration) { c.tb.Topo.SlowNode(node, delay) }
+
+// SkewStats distorts the statistics a table's engine reports (RowCount
+// and distinct counts scaled by factor) while scans keep returning the
+// true rows — the stale-ANALYZE condition behind most cross-database
+// misestimates. A factor of 1 removes the distortion. With
+// Options.MaxReopts set, queries that materialize a stage whose actual
+// cardinality contradicts the skewed estimate re-optimize their
+// unexecuted suffix mid-query; see README "Robust to misestimation".
+func (c *Cluster) SkewStats(table string, factor float64) error {
+	return c.tb.SkewStats(table, factor)
+}
 
 // NodeHealth reports every DBMS node's breaker state and RPC counters.
 func (c *Cluster) NodeHealth() map[string]NodeHealth { return c.tb.System.NodeHealth() }
