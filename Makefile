@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet bench bench-transport bench-obs bench-annotate bench-deploy bench-reopt chaos chaos-failover chaos-reopt soak check
+.PHONY: build test race vet bench bench-transport bench-obs bench-annotate bench-deploy bench-reopt chaos chaos-failover chaos-reopt chaos-inspect soak check
 
 build:
 	$(GO) build ./...
@@ -36,6 +36,13 @@ chaos-failover:
 # mid-query re-optimization").
 chaos-reopt:
 	$(GO) test -race -count=1 -v -run 'TestReopt' ./internal/core/
+
+# Introspection drill: live registry lifecycle, /debug/queries under a
+# running query, implicit-edge flow feedback, EXPLAIN ANALYZE, and the
+# registry-drain invariants across failover and cancellation, under the
+# race detector (DESIGN.md "Flow accounting and live introspection").
+chaos-inspect:
+	$(GO) test -race -count=1 -v -run 'TestInflight|TestImplicitFlow|TestAnalyzeShows|TestChaosInflight|TestFlow|TestParseStreamRel|TestTransportByAddr' ./internal/core/ ./internal/wire/
 
 # Concurrency soak: burst admission, staggered mid-query cancellation,
 # and drain-under-load against a live cluster, under the race detector.

@@ -27,11 +27,18 @@
 //	-mediator-fallback  finish on the middleware when replans are exhausted
 //	-max-reopts <n>   re-optimize the suffix around up to n misestimates
 //	-reopt-threshold <f>  estimate-vs-actual ratio that triggers one (default 4)
+//	-inspect          poll /debug/queries while the query runs and print
+//	                  the live in-flight snapshots (xdb system only)
+//	-explain-analyze  print EXPLAIN ANALYZE after the run: the executed
+//	                  plan with est-vs-actual per-edge cardinalities, wire
+//	                  volumes, phase timings, and verdicts (xdb system only)
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
+	"net/http"
 	"os"
 	"strings"
 	"time"
@@ -57,6 +64,8 @@ func main() {
 	mediatorFallback := flag.Bool("mediator-fallback", false, "finish on the middleware when replans are exhausted")
 	maxReopts := flag.Int("max-reopts", 0, "re-optimize the unexecuted suffix around up to n cardinality misestimates (0 disables)")
 	reoptThreshold := flag.Float64("reopt-threshold", 0, "estimate-vs-actual ratio that triggers a re-optimization (default 4)")
+	inspect := flag.Bool("inspect", false, "poll /debug/queries while the query runs and print live snapshots (xdb system only)")
+	explainAnalyze := flag.Bool("explain-analyze", false, "print EXPLAIN ANALYZE after the run (xdb system only)")
 	flag.Parse()
 
 	if flag.NArg() < 1 {
@@ -76,6 +85,11 @@ func main() {
 	dist, err := tpch.TD(*td)
 	if err != nil {
 		fatal(err)
+	}
+	if *inspect && *metricsAddr == "" {
+		// The inspector polls the debug endpoint over HTTP, so it needs
+		// the metrics listener even when nobody asked for /metrics.
+		*metricsAddr = "127.0.0.1:0"
 	}
 	fmt.Fprintf(os.Stderr, "starting %d DBMS nodes, loading TPC-H sf=%g under %s...\n",
 		len(dist.Nodes()), *sf, *td)
@@ -121,6 +135,11 @@ func main() {
 	}
 
 	cluster.ResetTransfers()
+	if *inspect {
+		stop := make(chan struct{})
+		defer close(stop)
+		go pollInflight(cluster.MetricsAddr(), stop)
+	}
 	start := time.Now()
 	switch *system {
 	case "xdb":
@@ -164,6 +183,10 @@ func main() {
 			fmt.Println("\ntrace:")
 			fmt.Print(res.Trace.String())
 		}
+		if *explainAnalyze {
+			fmt.Println()
+			fmt.Print(res.Analyze())
+		}
 	case "garlic", "presto":
 		var m *xdb.MediatorSystem
 		if *system == "garlic" {
@@ -201,6 +224,42 @@ func main() {
 		fatal(fmt.Errorf("unknown system %q", *system))
 	}
 	fmt.Printf("total inter-node transfer: %.1f KB\n", float64(cluster.TransferTotal())/1024)
+}
+
+// pollInflight polls the middleware's /debug/queries endpoint until stop
+// closes, printing each non-empty text snapshot to stderr. Consecutive
+// identical snapshots print once — the inspector shows progress, not a
+// metronome.
+func pollInflight(addr string, stop <-chan struct{}) {
+	if addr == "" {
+		return
+	}
+	url := "http://" + addr + "/debug/queries?format=text"
+	last := ""
+	tick := time.NewTicker(25 * time.Millisecond)
+	defer tick.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-tick.C:
+		}
+		resp, err := http.Get(url)
+		if err != nil {
+			continue
+		}
+		body, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			continue
+		}
+		snap := string(body)
+		if snap == last || strings.HasPrefix(snap, "no queries in flight") {
+			continue
+		}
+		last = snap
+		fmt.Fprintf(os.Stderr, "--- in flight ---\n%s", snap)
+	}
 }
 
 func fatal(err error) {

@@ -30,6 +30,9 @@ type Deployment struct {
 	XDBQuery string
 	// Node is the DBMS the XDB query targets (the root task's home).
 	Node string
+	// QID is the query id its object names embed (xdb<QID>_*); the wire
+	// flow sink routes this deployment's streams by it.
+	QID int64
 
 	mu sync.Mutex
 	// cleanup lists DROP statements in reverse deployment order.
@@ -172,7 +175,7 @@ func (s *System) deployReusing(ctx context.Context, plan *Plan, qid int64, reuse
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	run := &deployRun{dep: &Deployment{}, reuse: reuse}
+	run := &deployRun{dep: &Deployment{QID: qid}, reuse: reuse}
 	rootView, err := s.processTask(ctx, plan, plan.Root, qid, run)
 	if err != nil {
 		return run.dep, err

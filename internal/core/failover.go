@@ -199,8 +199,11 @@ func (s *System) replanWait(ctx context.Context, attempt int) error {
 // substituted (bounded by Options.MaxReopts; see reopt.go). bd
 // accumulates across attempts (phase times add up; Replans counts the
 // fault attempts, Reopts the cardinality ones). planOut exposes the last
-// plan for the slow-query log.
-func (s *System) runWithFailover(ctx context.Context, qspan *obs.Span, sql, cacheKey string, bd *Breakdown, planOut **Plan) (*Result, error) {
+// plan for the slow-query log. inf is the query's in-flight registry
+// entry (nil-safe): each attempt attaches its qid so the wire flow sink
+// can attribute the attempt's streams, and phase transitions keep the
+// live inspector honest.
+func (s *System) runWithFailover(ctx context.Context, qspan *obs.Span, sql, cacheKey string, bd *Breakdown, planOut **Plan, inf *inflightEntry) (*Result, error) {
 	excluded := map[string]bool{}
 	var (
 		plan *Plan
@@ -265,6 +268,7 @@ func (s *System) runWithFailover(ctx context.Context, qspan *obs.Span, sql, cach
 					RootNode:   s.node,
 					CleanupErr: cleanupOwned(),
 					Trace:      qspan,
+					Flows:      inf.flowsSnapshot(),
 				}, nil
 			}
 			failErr = fmt.Errorf("%w (mediator fallback: %v)", failErr, ferr)
@@ -303,6 +307,7 @@ func (s *System) runWithFailover(ctx context.Context, qspan *obs.Span, sql, cach
 		// replan always runs the pipeline so degraded planning can
 		// exclude a tripped node and re-annotation can consume the
 		// cardinality feedback.
+		inf.setPhase("planning", bd, attempt)
 		var ent *planEntry
 		var dep *Deployment
 		hit := false
@@ -316,6 +321,10 @@ func (s *System) runWithFailover(ctx context.Context, qspan *obs.Span, sql, cach
 			*planOut = plan
 			bd.PlanCacheHit = true
 			qspan.Set("plan_cache", "hit")
+			// A warm deployment keeps its original qid: route its streams
+			// here. Concurrent queries sharing the deployment race for the
+			// route; the latest registrant wins the overlap.
+			inf.attach(dep.QID, plan)
 		} else {
 			p, perr := s.plan(ctx, sql, bd, feedback)
 			if perr != nil {
@@ -361,9 +370,11 @@ func (s *System) runWithFailover(ctx context.Context, qspan *obs.Span, sql, cach
 				// --- Delegation: deploy the plan as DDL, adopting
 				// surviving objects from prior attempts — in particular
 				// every already materialized stage.
+				inf.setPhase("delegating", bd, attempt)
 				start := time.Now()
 				dctx, delegSpan := obs.Start(ctx, "delegate")
-				qid := s.seq.Add(1)
+				qid := nextQID()
+				inf.attach(qid, plan)
 				var derr error
 				dep, derr = s.deployReusing(dctx, plan, qid, s.reuseIndex(prior, retired, excluded))
 				delegSpan.SetErr(derr)
@@ -414,6 +425,7 @@ func (s *System) runWithFailover(ctx context.Context, qspan *obs.Span, sql, cach
 			if feedback == nil {
 				feedback = map[string]float64{}
 			}
+			inf.setPhase("observing", bd, attempt)
 			ostart := time.Now()
 			trigger, actual, oerr := s.observeMaterialized(ctx, qspan, plan, feedback)
 			bd.Exec += time.Since(ostart)
@@ -452,11 +464,17 @@ func (s *System) runWithFailover(ctx context.Context, qspan *obs.Span, sql, cach
 			}
 		}
 
+		inf.setPhase("executing", bd, attempt)
 		start := time.Now()
 		eres, execErr := s.executeDeployment(ctx, qspan, dep)
 		bd.Exec += time.Since(start)
 
 		if execErr == nil {
+			inf.setPhase("finishing", bd, attempt)
+			// Post-hoc cardinality feedback from the implicit edges this
+			// execution pulled over the wire — the flow-accounting
+			// counterpart of the explicit-movement barriers (reopt.go).
+			s.feedImplicitFlows(inf, plan, dep.QID)
 			var cleanupErr error
 			if ent != nil {
 				// Cached entry: return the lease; the last lease out of a
@@ -486,6 +504,8 @@ func (s *System) runWithFailover(ctx context.Context, qspan *obs.Span, sql, cach
 				RootNode:   dep.Node,
 				CleanupErr: cleanupErr,
 				Trace:      qspan,
+				QID:        dep.QID,
+				Flows:      inf.flowsSnapshot(),
 			}, nil
 		}
 

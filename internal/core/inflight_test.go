@@ -1,0 +1,297 @@
+package core
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+// flowRouterSize reports the process-wide flow routes still registered.
+func flowRouterSize() int {
+	flowRouter.RLock()
+	defer flowRouter.RUnlock()
+	return len(flowRouter.m)
+}
+
+// assertIntrospectionDrained verifies the live registry and the
+// process-wide flow router are empty once the system is quiescent — the
+// no-leak invariant of the introspection layer.
+func assertIntrospectionDrained(t *testing.T, sys *System) {
+	t.Helper()
+	if n := sys.inflight.size(); n != 0 {
+		t.Errorf("inflight registry holds %d entries with the system idle", n)
+	}
+	if n := flowRouterSize(); n != 0 {
+		t.Errorf("flow router holds %d routes with the system idle", n)
+	}
+}
+
+// TestInflightLifecycleAndDebugEndpoint snapshots a query mid-flight —
+// through System.Inflight and over the /debug/queries endpoint — then
+// verifies both drain to empty when it finishes.
+func TestInflightLifecycleAndDebugEndpoint(t *testing.T) {
+	opts := chaosOptions()
+	opts.MetricsAddr = "127.0.0.1:0"
+	cl := newChaosCluster(t, opts)
+	addr := cl.sys.MetricsAddr()
+	if addr == "" {
+		t.Fatal("metrics listener did not start")
+	}
+	url := "http://" + addr + "/debug/queries"
+
+	get := func(rawURL string) string {
+		t.Helper()
+		resp, err := http.Get(rawURL)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(body)
+	}
+
+	var midJSON, midText string
+	var midSnap []InflightQuery
+	cl.sys.hookBeforeAttempt = func(attempt int) {
+		if midJSON != "" {
+			return
+		}
+		midJSON = get(url)
+		midText = get(url + "?format=text")
+		midSnap = cl.sys.Inflight()
+	}
+	res, err := cl.sys.Query(chaosQuery)
+	cl.sys.hookBeforeAttempt = nil
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Mid-query: exactly this query, registered with its phase and shape.
+	if len(midSnap) != 1 {
+		t.Fatalf("Inflight() mid-query = %d entries, want 1", len(midSnap))
+	}
+	q := midSnap[0]
+	if q.SQL != chaosQuery || q.ID <= 0 {
+		t.Errorf("mid-query snapshot = %+v", q)
+	}
+	if q.Phase != "delegating" {
+		t.Errorf("phase at the pre-execution hook = %q, want %q", q.Phase, "delegating")
+	}
+	if !strings.Contains(q.PlanShape, "tasks=") {
+		t.Errorf("plan shape = %q, want tasks summary", q.PlanShape)
+	}
+	var served []InflightQuery
+	if err := json.Unmarshal([]byte(midJSON), &served); err != nil {
+		t.Fatalf("endpoint JSON does not decode: %v\n%s", err, midJSON)
+	}
+	if len(served) != 1 || served[0].SQL != chaosQuery || served[0].ID != q.ID {
+		t.Errorf("endpoint snapshot = %s", midJSON)
+	}
+	if !strings.Contains(midText, fmt.Sprintf("#%d [delegating]", q.ID)) {
+		t.Errorf("text rendering missing the query header:\n%s", midText)
+	}
+
+	// The finished result carries the accumulated flows: at minimum the
+	// root task's result delivery, all streams drained.
+	if res.QID <= 0 {
+		t.Errorf("Result.QID = %d, want the executed deployment's qid", res.QID)
+	}
+	var sawResult bool
+	for _, f := range res.Flows {
+		if f.QID != res.QID {
+			t.Errorf("flow from a foreign attempt: %+v", f)
+		}
+		if !f.Done {
+			t.Errorf("flow not drained at completion: %+v", f)
+		}
+		if f.Kind == "result" {
+			sawResult = true
+			if f.Rows() != int64(len(res.Rows)) {
+				t.Errorf("result flow rows = %d, want %d", f.Rows(), len(res.Rows))
+			}
+		}
+		if f.Bytes() <= 0 || f.Rows() <= 0 {
+			t.Errorf("flow without traffic: %+v", f)
+		}
+	}
+	if !sawResult {
+		t.Errorf("no result-delivery flow in %+v", res.Flows)
+	}
+
+	// Drained: registry and router empty, endpoint reports none.
+	assertIntrospectionDrained(t, cl.sys)
+	var after []InflightQuery
+	if err := json.Unmarshal([]byte(get(url)), &after); err != nil || len(after) != 0 {
+		t.Errorf("endpoint after drain = %v (err %v), want empty", after, err)
+	}
+	if txt := get(url + "?format=text"); !strings.Contains(txt, "no queries in flight") {
+		t.Errorf("text endpoint after drain = %q", txt)
+	}
+}
+
+// TestImplicitFlowFeedbackTransferSavings is the acceptance scenario for
+// the implicit-edge feedback loop: the savings schema with tickets'
+// statistics under-reported 10x, implicit movement, and re-optimization
+// OFF — no barriers exist, so the only cardinality observation is the
+// wire flow accounting on the pulls themselves. Run 1 plans against the
+// skew and mis-ships the inflated intermediate; its finished pull
+// streams feed the observed tickets count into the statsOverride loop;
+// run 2 — same cluster, same SQL — must plan against the corrected
+// statistics and move strictly fewer bytes for an identical result.
+func TestImplicitFlowFeedbackTransferSavings(t *testing.T) {
+	opts := chaosOptions()
+	opts.MaxReopts = 0 // prove the feedback needs no explicit barriers
+	cl := newChaosCluster(t, opts)
+	loadSavingsTables(t, cl)
+	if err := cl.engines["db2"].SkewStats("tickets", 0.1); err != nil {
+		t.Fatal(err)
+	}
+
+	cl.topo.Ledger().Reset()
+	res1, err := cl.sys.Query(reoptSavingsQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bytes1 := cl.topo.Ledger().Total()
+
+	// Run 1 must have pulled tickets over an implicit edge and observed
+	// the divergence — the feedback's raw material.
+	var ticketsFlow *EdgeFlow
+	for i, f := range res1.Flows {
+		if f.Kind == "implicit" && f.Done && f.EstRows > 0 &&
+			reoptDiverges(f.EstRows, float64(f.Rows()), cl.sys.reoptThreshold()) {
+			ticketsFlow = &res1.Flows[i]
+		}
+	}
+	if ticketsFlow == nil {
+		t.Fatalf("run 1 observed no diverging implicit edge — scenario broken:\n%+v", res1.Flows)
+	}
+
+	cl.topo.Ledger().Reset()
+	res2, err := cl.sys.Query(reoptSavingsQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bytes2 := cl.topo.Ledger().Total()
+
+	if got, want := rowsText(res2), rowsText(res1); got != want {
+		t.Fatalf("run 2 result differs from run 1:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+	if res1.Breakdown.Reopts != 0 || res2.Breakdown.Reopts != 0 {
+		t.Fatalf("a mid-query reopt fired with MaxReopts=0 (run1=%d run2=%d)",
+			res1.Breakdown.Reopts, res2.Breakdown.Reopts)
+	}
+	if bytes2 >= bytes1 {
+		t.Errorf("run 2 moved %d bytes, run 1 %d — implicit-edge feedback bought nothing", bytes2, bytes1)
+	}
+	t.Logf("bytes moved: run1=%d run2=%d (%.0f%% saved) — diverging edge %s est %.0f actual %d",
+		bytes1, bytes2, 100*(1-float64(bytes2)/float64(bytes1)),
+		ticketsFlow.Rel, ticketsFlow.EstRows, ticketsFlow.Rows())
+
+	assertIntrospectionDrained(t, cl.sys)
+}
+
+// TestAnalyzeShowsEstVsActual checks the EXPLAIN ANALYZE rendering: the
+// executed plan annotated with estimated vs observed cardinalities,
+// per-edge wire volume, phase timings, per-DDL span timings, and the
+// cache/failover/reopt verdicts.
+func TestAnalyzeShowsEstVsActual(t *testing.T) {
+	opts := chaosOptions()
+	opts.Trace = true
+	cl := newChaosCluster(t, opts)
+	res, err := cl.sys.Query(chaosQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := res.Analyze()
+	for _, want := range []string{
+		"EXPLAIN ANALYZE",
+		"edges (est vs observed):",
+		"est ",
+		", actual ",
+		"result delivery:",
+		"phases:",
+		"consult rounds",
+		"ddl timings",
+		"plan cache: miss",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Analyze() missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "failover:") || strings.Contains(out, "reopt:") {
+		t.Errorf("verdicts report recovery on a clean run:\n%s", out)
+	}
+	if (&Result{}).Analyze() == "" || (*Result)(nil).Analyze() != "" {
+		t.Error("Analyze() edge cases: empty Result must render, nil must not panic")
+	}
+}
+
+// TestChaosInflightDrainsOnFailover kills the executing node mid-query:
+// the query fails over, finishes, and the introspection layer must be
+// empty — no stale registry entry, no orphaned flow route — despite the
+// retired attempt's streams dying mid-flight.
+func TestChaosInflightDrainsOnFailover(t *testing.T) {
+	cl := newFailoverCluster(t, failoverOptions())
+	if _, err := cl.sys.Query(failoverQuery); err != nil {
+		t.Fatal(err) // warm: calibration, pools
+	}
+
+	fired := false
+	cl.sys.hookBeforeAttempt = func(attempt int) {
+		if attempt == 0 && !fired {
+			fired = true
+			if len(cl.sys.Inflight()) != 1 {
+				t.Error("query not visible in the registry at the kill point")
+			}
+			cl.topo.CrashNode("db3")
+		}
+	}
+	res, err := cl.sys.Query(failoverQuery)
+	cl.sys.hookBeforeAttempt = nil
+	if err != nil {
+		t.Fatalf("query did not survive the crash: %v", err)
+	}
+	if !fired || res.Breakdown.Replans < 1 {
+		t.Fatalf("fault not exercised (fired=%v replans=%d)", fired, res.Breakdown.Replans)
+	}
+	// The executed attempt's flows survive in the result; the dead
+	// attempt's qid must not linger in the router.
+	if res.QID <= 0 {
+		t.Errorf("Result.QID = %d after failover", res.QID)
+	}
+	assertIntrospectionDrained(t, cl.sys)
+
+	cl.topo.ReviveNode("db3")
+	if _, remaining, err := cl.sys.SweepOrphans(); err != nil || remaining != 0 {
+		t.Errorf("post-revival sweep: remaining=%d err=%v", remaining, err)
+	}
+}
+
+// TestInflightDeregisterOnCancel cancels a query mid-flight and verifies
+// the registry entry and its flow routes go with it.
+func TestInflightDeregisterOnCancel(t *testing.T) {
+	cl := newChaosCluster(t, chaosOptions())
+	if _, err := cl.sys.Query(chaosQuery); err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cl.sys.hookBeforeAttempt = func(attempt int) { cancel() }
+	_, err := cl.sys.QueryContext(ctx, chaosQuery)
+	cl.sys.hookBeforeAttempt = nil
+	if err == nil {
+		t.Fatal("query survived its own cancellation")
+	}
+	assertIntrospectionDrained(t, cl.sys)
+	if _, remaining, err := cl.sys.SweepOrphans(); err != nil || remaining != 0 {
+		t.Errorf("sweep after cancel: remaining=%d err=%v", remaining, err)
+	}
+}

@@ -36,6 +36,8 @@ var met = struct {
 	replans        *obs.CounterVec // by outcome
 	reopts         *obs.CounterVec // by outcome
 	failovers      *obs.Counter
+	edgeRows       *obs.CounterVec // by edge kind
+	edgeBytes      *obs.CounterVec // by edge kind
 }{
 	queries: obs.Default.CounterVec("xdb_queries_total",
 		"Queries by outcome: ok, error, canceled, shed_overload, shed_timeout, shed_draining.", "outcome"),
@@ -77,6 +79,10 @@ var met = struct {
 		"Mid-query cardinality re-optimizations by outcome: improved (corrected costing changed the plan), unchanged, failed.", "outcome"),
 	failovers: obs.Default.Counter("xdb_failover_total",
 		"Queries that survived a mid-query fault (suffix replan or mediator fallback)."),
+	edgeRows: obs.Default.CounterVec("xdb_edge_rows_total",
+		"Rows observed on attributed wire streams by edge kind (implicit, explicit, barrier, result, unknown), counted at the receiving end.", "kind"),
+	edgeBytes: obs.Default.CounterVec("xdb_edge_bytes_total",
+		"Wire bytes (frame headers included) of attributed result streams by edge kind, counted at the receiving end.", "kind"),
 }
 
 // queryOutcome maps a QueryContext result to its metrics label.
@@ -123,6 +129,9 @@ func registerSystemGauges(s *System) {
 	obs.Default.GaugeFunc("xdb_deployment_leases",
 		"Leases currently held on cached deployments by executing queries.",
 		func() int64 { return int64(s.plans.activeLeases()) })
+	obs.Default.GaugeFunc("xdb_inflight_registry_entries",
+		"Queries registered in the live introspection registry (admission to completion; must drain to 0 with the system idle).",
+		func() int64 { return int64(s.inflight.size()) })
 }
 
 // observeSeconds records a duration on a histogram.

@@ -182,6 +182,31 @@ func (s *System) feedObservedRows(e *Edge, actual float64) {
 	}
 }
 
+// feedImplicitFlows closes the feedback loop for the edges the barriers
+// cannot see: implicit movements never materialize, but the wire flow
+// accounting observed their pull streams' actual row counts while the
+// query executed. After a clean execution each finished implicit pull
+// feeds the same statsOverride path the explicit barriers use — strictly
+// post-hoc and cross-query: the finished query is untouched, no
+// mid-query re-optimization triggers from an implicit edge, but the next
+// misestimated pull-heavy query plans against corrected statistics.
+// qid scopes the lookup to the attempt that actually executed.
+func (s *System) feedImplicitFlows(inf *inflightEntry, plan *Plan, qid int64) {
+	if inf == nil || plan == nil {
+		return
+	}
+	for _, e := range plan.Edges {
+		if e.Move != MoveImplicit || e.Sig == "" {
+			continue
+		}
+		actual, done := inf.flowObserved(qid, e.From.ID)
+		if !done {
+			continue
+		}
+		s.feedObservedRows(e, float64(actual))
+	}
+}
+
 // bareScanRoot returns the task's fragment as a single (filtered,
 // pruned) scan, or nil when the fragment computes more than one
 // relation's worth of data.

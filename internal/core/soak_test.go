@@ -118,6 +118,7 @@ func TestSoakBurst(t *testing.T) {
 		t.Errorf("post-drain query error = %v, want *DrainingError", err)
 	}
 	cl.assertNoXDBObjects(t)
+	assertIntrospectionDrained(t, cl.sys)
 
 	cl.close()
 	cl.assertTransportBalanced(t)
@@ -180,6 +181,7 @@ func TestSoakCancelMidDeployment(t *testing.T) {
 		t.Errorf("sweep after cancels: remaining=%d err=%v", remaining, err)
 	}
 	cl.assertNoXDBObjects(t)
+	assertIntrospectionDrained(t, cl.sys)
 
 	cl.close()
 	cl.assertTransportBalanced(t)
@@ -239,6 +241,7 @@ func TestSoakDrainUnderLoad(t *testing.T) {
 		t.Error("drain cancelled every in-flight query; want admitted ones to finish")
 	}
 	cl.assertNoXDBObjects(t)
+	assertIntrospectionDrained(t, cl.sys)
 
 	cl.close()
 	cl.assertTransportBalanced(t)

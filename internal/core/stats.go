@@ -20,6 +20,10 @@ type SystemStats struct {
 	// Connectors sharing one client (the usual middleware deployment)
 	// are counted once.
 	Transport wire.TransportStats
+	// TransportByAddr breaks Transport down by dial address, merged
+	// across the same deduped clients, so a hot or flaky link is
+	// attributable to its endpoint.
+	TransportByAddr map[string]wire.TransportStats
 	// Orphans lists the short-lived relations whose drops failed and
 	// await the janitor.
 	Orphans []Orphan
@@ -50,6 +54,7 @@ func (s *System) Stats() SystemStats {
 			st.Nodes[node] = NodeHealth{Node: node}
 		}
 	}
+	st.TransportByAddr = map[string]wire.TransportStats{}
 	seen := map[*wire.Client]bool{}
 	for _, conn := range s.connectors {
 		cl := conn.Client()
@@ -58,6 +63,9 @@ func (s *System) Stats() SystemStats {
 		}
 		seen[cl] = true
 		st.Transport = st.Transport.Add(cl.Transport())
+		for addr, ts := range cl.TransportByAddr() {
+			st.TransportByAddr[addr] = st.TransportByAddr[addr].Add(ts)
+		}
 	}
 	return st
 }

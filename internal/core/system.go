@@ -10,7 +10,6 @@ import (
 	"strconv"
 	"strings"
 	"sync"
-	"sync/atomic"
 	"time"
 	"unicode/utf8"
 
@@ -55,12 +54,14 @@ type System struct {
 	nodes *nodeLimiter
 	// bg tracks background janitor goroutines so Close can wait for them.
 	bg sync.WaitGroup
+	// inflight is the live registry of admitted, unfinished queries; the
+	// wire flow sink routes per-edge accounting into it (see inflight.go).
+	inflight *inflightRegistry
 	// metricsLn/metricsSrv serve the process-wide metrics registry when
 	// Options.MetricsAddr is set (see startMetricsServer).
 	metricsLn  net.Listener
 	metricsSrv *http.Server
 
-	seq        atomic.Int64
 	calibrated bool
 	calMu      sync.Mutex
 	// calNodes remembers which connectors calibrated successfully, so a
@@ -116,6 +117,7 @@ func NewSystem(middlewareNode, clientNode string, topo *netsim.Topology, opts Op
 		consults:   newConsultCache(opts.ConsultCacheTTL),
 		plans:      newPlanCache(opts.PlanCacheSize, opts.DeploymentTTL),
 		planStop:   make(chan struct{}),
+		inflight:   newInflightRegistry(),
 	}
 	s.health = newHealthTracker(opts.BreakerThreshold, opts.BreakerBackoff, opts.BreakerBackoffMax, s.nodeRecovered)
 	// Any breaker transition invalidates the node's cached consult
@@ -149,6 +151,7 @@ func (s *System) startMetricsServer() {
 	mux := http.NewServeMux()
 	mux.Handle("/", obs.Default.Handler())
 	mux.Handle("/metrics", obs.Default.Handler())
+	mux.HandleFunc("/debug/queries", s.handleDebugQueries)
 	srv := &http.Server{Handler: mux}
 	s.metricsSrv = srv
 	s.bg.Add(1)
@@ -707,6 +710,16 @@ type Result struct {
 	// the caller's context); nil otherwise. Render it with
 	// Trace.String() or export it with Trace.JSON().
 	Trace *obs.Span
+	// QID is the executed deployment's query id — the <qid> in the
+	// short-lived relations' xdb<qid>_* names (0 for a mediator-fallback
+	// finish, which deploys nothing).
+	QID int64
+	// Flows is the per-edge wire flow accounting observed while the
+	// query ran: one entry per attributed stream (implicit pulls,
+	// explicit materialization fetches, re-optimization barriers, and the
+	// root result delivery), across all attempts. Result.Analyze renders
+	// it against the executed plan.
+	Flows []EdgeFlow
 }
 
 // Query is QueryContext with a background context, kept so existing
@@ -779,6 +792,12 @@ func (s *System) QueryContext(ctx context.Context, sql string) (res *Result, err
 	}
 	defer release()
 
+	// Admitted: the query is now visible to the inspector until it
+	// finishes (the deferred deregister also unroutes its flow qids, so a
+	// failed-over or cancelled query never leaks an entry).
+	inf := s.inflight.register(sql)
+	defer s.inflight.deregister(inf)
+
 	bd = Breakdown{AdmissionWait: wait, Queued: queued}
 
 	// The plan-cache key is the canonical rendering of the parsed
@@ -797,7 +816,7 @@ func (s *System) QueryContext(ctx context.Context, sql string) (res *Result, err
 	// around the dead node, up to Options.MaxReplans times (see
 	// failover.go). With MaxReplans 0 — the paper's configuration — the
 	// first fault fails the query exactly as before.
-	return s.runWithFailover(ctx, qspan, sql, cacheKey, &bd, &plan)
+	return s.runWithFailover(ctx, qspan, sql, cacheKey, &bd, &plan, inf)
 }
 
 // NoConnectorError reports an execution attempt against a node no

@@ -104,6 +104,36 @@ func (l *Ledger) TotalMatching(accept func(Edge) bool) int64 {
 	return total
 }
 
+// FramesBetween returns the frames moved from one node to another (one
+// frame per Add call — the wire charges each protocol frame separately).
+func (l *Ledger) FramesBetween(from, to string) int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.frames[Edge{From: from, To: to}]
+}
+
+// TotalFrames returns all frames moved between distinct nodes.
+func (l *Ledger) TotalFrames() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	var total int64
+	for _, n := range l.frames {
+		total += n
+	}
+	return total
+}
+
+// FrameSnapshot returns a copy of the per-edge frame counts.
+func (l *Ledger) FrameSnapshot() map[Edge]int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make(map[Edge]int64, len(l.frames))
+	for e, n := range l.frames {
+		out[e] = n
+	}
+	return out
+}
+
 // Snapshot returns a copy of the per-edge byte counts.
 func (l *Ledger) Snapshot() map[Edge]int64 {
 	l.mu.Lock()

@@ -365,14 +365,14 @@ func (r *Registry) WritePrometheus(w *strings.Builder) {
 			case s.Histogram != nil:
 				bounds, cum := s.Histogram.Buckets()
 				for i, b := range bounds {
-					fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", f.Name, formatFloat(b), cum[i])
+					fmt.Fprintf(w, "%s_bucket{le=\"%s\"} %d\n", f.Name, formatFloat(b), cum[i])
 				}
 				total := s.Histogram.Count()
 				fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", f.Name, total)
 				fmt.Fprintf(w, "%s_sum %s\n", f.Name, formatFloat(s.Histogram.Sum()))
 				fmt.Fprintf(w, "%s_count %d\n", f.Name, total)
 			case s.Label != "":
-				fmt.Fprintf(w, "%s{%s=%q} %s\n", f.Name, s.Label, s.LabelValue, formatFloat(s.Value))
+				fmt.Fprintf(w, "%s{%s=\"%s\"} %s\n", f.Name, s.Label, escapeLabel(s.LabelValue), formatFloat(s.Value))
 			default:
 				fmt.Fprintf(w, "%s %s\n", f.Name, formatFloat(s.Value))
 			}
@@ -386,6 +386,17 @@ func formatFloat(v float64) string {
 
 func escapeHelp(s string) string {
 	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// escapeLabel escapes a label value per the Prometheus text exposition
+// format: backslash, double quote, and newline only. Go's %q is NOT
+// equivalent — it also escapes non-printables and non-ASCII as \xNN /
+// \uNNNN sequences the Prometheus parser rejects, and label values are
+// UTF-8 that must pass through verbatim.
+func escapeLabel(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, `"`, `\"`)
 	return strings.ReplaceAll(s, "\n", `\n`)
 }
 

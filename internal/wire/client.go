@@ -41,6 +41,10 @@ type Client struct {
 
 	dials, reuses, retries, timeouts, evictions, closes atomic.Int64
 	bytesSent, bytesRecv                                atomic.Int64
+
+	// perAddr holds the per-target-address slice of the counters above
+	// (addr -> *addrStats), so a hot or flaky link is attributable.
+	perAddr sync.Map
 }
 
 // NewClient returns a client for the given source node with the default
@@ -64,12 +68,14 @@ func NewClientWith(fromNode string, topo *netsim.Topology, cfg ClientConfig) *Cl
 // injected fault severing the frame (the simulated equivalent of a reset
 // connection): the caller must treat it as a transport failure and discard
 // the connection.
-func (c *Client) account(to string, n int, inbound bool) error {
+func (c *Client) account(addr, to string, n int, inbound bool) error {
 	if inbound {
 		c.bytesRecv.Add(int64(n))
+		c.forAddr(addr).bytesRecv.Add(int64(n))
 		met.bytesRecv.Add(int64(n))
 	} else {
 		c.bytesSent.Add(int64(n))
+		c.forAddr(addr).bytesSent.Add(int64(n))
 		met.bytesSent.Add(int64(n))
 	}
 	if c.Topo == nil {
@@ -112,7 +118,7 @@ func (c *Client) sendRequest(ctx context.Context, addr, toNode string, reqType b
 				return nil, 0, nil, lastErr
 			}
 			attempt++
-			c.noteRetry()
+			c.noteRetry(addr)
 			if c.backoff(ctx, attempt) != nil {
 				return nil, 0, nil, lastErr
 			}
@@ -123,14 +129,14 @@ func (c *Client) sendRequest(ctx context.Context, addr, toNode string, reqType b
 		// Charge (and fate-sample) the request frame before it touches
 		// the real socket: an injected fault means the frame never
 		// reached the server, so the server must not observe it.
-		err = c.account(toNode, 5+len(payload), false)
+		err = c.account(addr, toNode, 5+len(payload), false)
 		if err == nil {
 			_, err = writeFrame(conn, reqType, payload)
 		}
 		if err != nil {
-			c.discard(conn)
+			c.discard(addr, conn)
 			if isTimeout(err) {
-				c.noteTimeout()
+				c.noteTimeout(addr)
 				return nil, 0, nil, deadlineErr(toNode, err)
 			}
 			lastErr = fmt.Errorf("wire: send to %s: %w", toNode, err)
@@ -139,12 +145,12 @@ func (c *Client) sendRequest(ctx context.Context, addr, toNode string, reqType b
 			// once regardless of idempotence.
 			if reused && !staleRedial {
 				staleRedial = true
-				c.noteRetry()
+				c.noteRetry(addr)
 				continue
 			}
 			if idempotent && attempt < c.cfg.MaxRetries {
 				attempt++
-				c.noteRetry()
+				c.noteRetry(addr)
 				if c.backoff(ctx, attempt) != nil {
 					return nil, 0, nil, lastErr
 				}
@@ -158,12 +164,12 @@ func (c *Client) sendRequest(ctx context.Context, addr, toNode string, reqType b
 			// The response frame rides the return path; an injected
 			// fault there loses it after the server already did the
 			// work — the classic response-lost ambiguity.
-			err = c.account(toNode, n, true)
+			err = c.account(addr, toNode, n, true)
 		}
 		if err != nil {
-			c.discard(conn)
+			c.discard(addr, conn)
 			if isTimeout(err) {
-				c.noteTimeout()
+				c.noteTimeout(addr)
 				return nil, 0, nil, deadlineErr(toNode, err)
 			}
 			lastErr = fmt.Errorf("wire: response from %s: %w", toNode, err)
@@ -172,12 +178,12 @@ func (c *Client) sendRequest(ctx context.Context, addr, toNode string, reqType b
 			if idempotent {
 				if reused && !staleRedial {
 					staleRedial = true
-					c.noteRetry()
+					c.noteRetry(addr)
 					continue
 				}
 				if attempt < c.cfg.MaxRetries {
 					attempt++
-					c.noteRetry()
+					c.noteRetry(addr)
 					if c.backoff(ctx, attempt) != nil {
 						return nil, 0, nil, lastErr
 					}
@@ -312,15 +318,18 @@ func (c *Client) QueryEnc(ctx context.Context, addr, toNode, sql string, forceTe
 		return nil, nil, fmt.Errorf("remote %s: %s", toNode, resp)
 	case msgSchema:
 	default:
-		c.discard(conn)
+		c.discard(addr, conn)
 		return nil, nil, fmt.Errorf("wire: unexpected response type %d to Query", typ)
 	}
 	schema, _, err := sqltypes.DecodeSchema(resp)
 	if err != nil {
-		c.discard(conn)
+		c.discard(addr, conn)
 		return nil, nil, err
 	}
-	return schema, &queryIter{c: c, ctx: ctx, conn: conn, addr: addr, toNode: toNode}, nil
+	// Attribute the stream to its delegation-plan edge (receiving end:
+	// the remote node produces, this client's node consumes).
+	fl := newStreamFlow(sql, toNode, c.FromNode, FlowRecv)
+	return schema, &queryIter{c: c, ctx: ctx, conn: conn, addr: addr, toNode: toNode, fl: fl}, nil
 }
 
 // QueryAll runs a SELECT remotely and materializes the result.
@@ -348,6 +357,7 @@ type queryIter struct {
 	conn   net.Conn
 	addr   string
 	toNode string
+	fl     *streamFlow // per-edge flow accounting; nil when unattributed
 	batch  []sqltypes.Row
 	pos    int
 	done   bool // msgEnd received; the connection is clean
@@ -381,12 +391,12 @@ func (q *queryIter) Next() (sqltypes.Row, error) {
 		if err == nil {
 			// An injected fault mid-stream severs the result flow; the
 			// connection carries undrained frames and must be discarded.
-			err = q.c.account(q.toNode, n, true)
+			err = q.c.account(q.addr, q.toNode, n, true)
 		}
 		if err != nil {
 			q.finish(false)
 			if isTimeout(err) {
-				q.c.noteTimeout()
+				q.c.noteTimeout(q.addr)
 				return nil, deadlineErr(q.toNode, err)
 			}
 			return nil, fmt.Errorf("wire: result stream from %s: %w", q.toNode, err)
@@ -398,8 +408,11 @@ func (q *queryIter) Next() (sqltypes.Row, error) {
 				q.finish(false)
 				return nil, err
 			}
+			q.fl.batch(len(q.batch), n)
 			q.pos = 0
 		case msgEnd:
+			r := &reader{b: payload}
+			q.fl.eos(r.uint64(), n)
 			q.done = true
 		case msgError:
 			// The server wrote the error frame and went back to waiting
@@ -423,7 +436,7 @@ func (q *queryIter) finish(clean bool) {
 	if clean {
 		q.c.putConn(q.addr, q.conn)
 	} else {
-		q.c.discard(q.conn)
+		q.c.discard(q.addr, q.conn)
 	}
 }
 

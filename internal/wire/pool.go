@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"sync/atomic"
 	"time"
 )
 
@@ -111,15 +112,59 @@ func (s TransportStats) Add(o TransportStats) TransportStats {
 	}
 }
 
+// addrStats is the per-target-address slice of a client's transport
+// counters: the same fields as TransportStats, attributed to one
+// endpoint so a hot or flaky link stands out in the aggregate.
+type addrStats struct {
+	dials, reuses, retries, timeouts, evictions, closes atomic.Int64
+	bytesSent, bytesRecv                                atomic.Int64
+}
+
+func (a *addrStats) snapshot() TransportStats {
+	return TransportStats{
+		Dials:         a.dials.Load(),
+		Reuses:        a.reuses.Load(),
+		Retries:       a.retries.Load(),
+		Timeouts:      a.timeouts.Load(),
+		Evictions:     a.evictions.Load(),
+		Closes:        a.closes.Load(),
+		BytesSent:     a.bytesSent.Load(),
+		BytesReceived: a.bytesRecv.Load(),
+	}
+}
+
+// forAddr returns the counter block for one target address, creating it
+// on first use.
+func (c *Client) forAddr(addr string) *addrStats {
+	if v, ok := c.perAddr.Load(addr); ok {
+		return v.(*addrStats)
+	}
+	v, _ := c.perAddr.LoadOrStore(addr, &addrStats{})
+	return v.(*addrStats)
+}
+
+// TransportByAddr returns a per-target-address breakdown of the client's
+// transport counters. The map is a fresh snapshot keyed by dial address.
+func (c *Client) TransportByAddr() map[string]TransportStats {
+	out := map[string]TransportStats{}
+	c.perAddr.Range(func(k, v any) bool {
+		out[k.(string)] = v.(*addrStats).snapshot()
+		return true
+	})
+	return out
+}
+
 // noteRetry and noteTimeout bump the per-client counter and its
 // process-wide metrics mirror together.
-func (c *Client) noteRetry() {
+func (c *Client) noteRetry(addr string) {
 	c.retries.Add(1)
+	c.forAddr(addr).retries.Add(1)
 	met.retries.Inc()
 }
 
-func (c *Client) noteTimeout() {
+func (c *Client) noteTimeout(addr string) {
 	c.timeouts.Add(1)
+	c.forAddr(addr).timeouts.Add(1)
 	met.timeouts.Inc()
 }
 
@@ -147,13 +192,17 @@ func (c *Client) getConn(ctx context.Context, addr, toNode string) (net.Conn, bo
 			if now.Sub(ic.since) > c.cfg.IdleTimeout {
 				// Expired while parked: reap it and keep looking.
 				c.evictions.Add(1)
-				met.evictions.Inc()
 				c.closes.Add(1)
+				a := c.forAddr(addr)
+				a.evictions.Add(1)
+				a.closes.Add(1)
+				met.evictions.Inc()
 				ic.conn.Close()
 				continue
 			}
 			c.mu.Unlock()
 			c.reuses.Add(1)
+			c.forAddr(addr).reuses.Add(1)
 			met.reuses.Inc()
 			return ic.conn, true, nil
 		}
@@ -165,6 +214,7 @@ func (c *Client) getConn(ctx context.Context, addr, toNode string) (net.Conn, bo
 		return nil, false, fmt.Errorf("wire: dial %s: %w", addr, err)
 	}
 	c.dials.Add(1)
+	c.forAddr(addr).dials.Add(1)
 	met.dials.Inc()
 	if c.Topo != nil {
 		// Fresh connections pay the link's handshake round trip; reused
@@ -174,6 +224,7 @@ func (c *Client) getConn(ctx context.Context, addr, toNode string) (net.Conn, bo
 		// layer even though the in-process listener accepted it.
 		if err := c.Topo.Handshake(c.FromNode, toNode); err != nil {
 			c.closes.Add(1)
+			c.forAddr(addr).closes.Add(1)
 			conn.Close()
 			return nil, false, fmt.Errorf("wire: dial %s: %w", addr, err)
 		}
@@ -190,6 +241,7 @@ func (c *Client) putConn(addr string, conn net.Conn) {
 	if c.closed || c.cfg.DisablePool || len(c.idle[addr]) >= c.cfg.MaxIdlePerHost {
 		c.mu.Unlock()
 		c.closes.Add(1)
+		c.forAddr(addr).closes.Add(1)
 		conn.Close()
 		return
 	}
@@ -199,10 +251,13 @@ func (c *Client) putConn(addr string, conn net.Conn) {
 
 // discard closes a connection that is (or may be) broken; it never returns
 // to the pool.
-func (c *Client) discard(conn net.Conn) {
+func (c *Client) discard(addr string, conn net.Conn) {
 	c.evictions.Add(1)
-	met.evictions.Inc()
 	c.closes.Add(1)
+	a := c.forAddr(addr)
+	a.evictions.Add(1)
+	a.closes.Add(1)
+	met.evictions.Inc()
 	conn.Close()
 }
 
@@ -214,9 +269,10 @@ func (c *Client) Close() error {
 	c.idle = map[string][]idleConn{}
 	c.closed = true
 	c.mu.Unlock()
-	for _, list := range idle {
+	for addr, list := range idle {
 		for _, ic := range list {
 			c.closes.Add(1)
+			c.forAddr(addr).closes.Add(1)
 			ic.conn.Close()
 		}
 	}

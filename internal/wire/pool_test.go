@@ -35,6 +35,54 @@ func TestPoolReuse(t *testing.T) {
 	}
 }
 
+// TestTransportByAddr: the per-address breakdown must partition the
+// aggregate — two servers' traffic lands under their own dial addresses,
+// and the summed per-addr counters reproduce Transport().
+func TestTransportByAddr(t *testing.T) {
+	e1, s1 := newServedEngine(t, "db1", engine.VendorTest)
+	e2, s2 := newServedEngine(t, "db2", engine.VendorTest)
+	loadNumbers(t, e1, "t", 200)
+	loadNumbers(t, e2, "t", 200)
+	c := NewClient("client", nil)
+	defer c.Close()
+
+	ctx := context.Background()
+	for i := 0; i < 5; i++ {
+		if _, err := c.QueryAll(ctx, s1.Addr(), "db1", "SELECT * FROM t"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := c.QueryAll(ctx, s2.Addr(), "db2", "SELECT * FROM t"); err != nil {
+		t.Fatal(err)
+	}
+
+	byAddr := c.TransportByAddr()
+	if len(byAddr) != 2 {
+		t.Fatalf("addrs = %d (%v), want 2", len(byAddr), byAddr)
+	}
+	a1, ok1 := byAddr[s1.Addr()]
+	a2, ok2 := byAddr[s2.Addr()]
+	if !ok1 || !ok2 {
+		t.Fatalf("missing server addresses in %v", byAddr)
+	}
+	if a1.Dials != 1 || a1.Reuses != 4 {
+		t.Errorf("s1 dials/reuses = %d/%d, want 1/4", a1.Dials, a1.Reuses)
+	}
+	if a2.Dials != 1 || a2.Reuses != 0 {
+		t.Errorf("s2 dials/reuses = %d/%d, want 1/0", a2.Dials, a2.Reuses)
+	}
+	if a1.BytesReceived <= a2.BytesReceived {
+		t.Errorf("s1 recv bytes %d should exceed s2's %d (5x the streams)", a1.BytesReceived, a2.BytesReceived)
+	}
+	var sum TransportStats
+	for _, ts := range byAddr {
+		sum = sum.Add(ts)
+	}
+	if total := c.Transport(); sum != total {
+		t.Errorf("per-addr sum %+v != aggregate %+v", sum, total)
+	}
+}
+
 // TestPoolReuseAcrossRPCKinds: mixed probe/exec/query traffic to one node
 // still runs over one connection, including drained streams returning
 // their connection to the pool.

@@ -198,6 +198,9 @@ func (s *Server) handleQuery(conn net.Conn, sql string, forceText bool) error {
 	if forceText {
 		enc = engine.EncodingText
 	}
+	// Sending end of the stream's flow accounting: this server's node is
+	// the producer; the consumer is unknown here (the client accounts it).
+	fl := newStreamFlow(sql, s.eng.Name(), "", FlowSend)
 	var (
 		batch      []sqltypes.Row
 		batchBytes int
@@ -208,7 +211,11 @@ func (s *Server) handleQuery(conn net.Conn, sql string, forceText bool) error {
 			return nil
 		}
 		payload, typ := encodeRowBatch(batch, enc)
-		_, err := writeFrame(conn, typ, payload)
+		rows := len(batch)
+		n, err := writeFrame(conn, typ, payload)
+		if err == nil {
+			fl.batch(rows, n)
+		}
 		batch = batch[:0]
 		batchBytes = 0
 		return err
@@ -235,7 +242,10 @@ func (s *Server) handleQuery(conn net.Conn, sql string, forceText bool) error {
 	if err := flush(); err != nil {
 		return err
 	}
-	_, err = writeFrame(conn, msgEnd, appendUint64(nil, total))
+	n, err := writeFrame(conn, msgEnd, appendUint64(nil, total))
+	if err == nil {
+		fl.eos(total, n)
+	}
 	return err
 }
 

@@ -137,7 +137,21 @@ type (
 	Span = obs.Span
 	// SpanJSON is the exported JSON shape of a trace span.
 	SpanJSON = obs.SpanJSON
+	// EdgeFlow is the live wire flow accounting of one plan edge: rows,
+	// bytes, and frames observed at each end of the attributed stream
+	// (Result.Flows, InflightQuery.Edges).
+	EdgeFlow = core.EdgeFlow
+	// InflightQuery is one entry of the live introspection registry: a
+	// currently executing query with its phase, plan shape, budgets
+	// spent, and per-edge flow counters (System.Inflight /
+	// Cluster.Inflight; served as JSON on /debug/queries).
+	InflightQuery = core.InflightQuery
 )
+
+// FormatInflight renders an in-flight snapshot the way the
+// /debug/queries?format=text endpoint does — one block per query with
+// its phase, plan shape, and per-edge flow counters.
+func FormatInflight(qs []InflightQuery) string { return core.FormatInflight(qs) }
 
 // MetricsHandler returns an http.Handler serving the process-wide metrics
 // registry in Prometheus text format — every series the middleware
@@ -368,6 +382,12 @@ func (c *Cluster) AdmissionStats() AdmissionStats {
 // state: admission, per-node breaker health, aggregated wire transport
 // counters, and orphans pending collection.
 func (c *Cluster) Stats() SystemStats { return c.tb.System.Stats() }
+
+// Inflight returns a snapshot of every query currently inside the
+// middleware — admitted but not yet completed — with its phase, plan
+// shape, budgets spent, and live per-edge flow counters. The same
+// snapshot is served on /debug/queries when Options.MetricsAddr is set.
+func (c *Cluster) Inflight() []InflightQuery { return c.tb.System.Inflight() }
 
 // MetricsAddr returns the address of the middleware's metrics listener
 // ("" unless Options.MetricsAddr was set and the listener started).
