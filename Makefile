@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet bench bench-transport bench-obs bench-annotate bench-deploy bench-reopt chaos chaos-failover chaos-reopt chaos-inspect soak check
+.PHONY: build test race vet bench bench-transport bench-obs bench-annotate bench-deploy bench-reopt bench-sample chaos chaos-failover chaos-reopt chaos-inspect chaos-sample soak check
 
 build:
 	$(GO) build ./...
@@ -44,6 +44,13 @@ chaos-reopt:
 chaos-inspect:
 	$(GO) test -race -count=1 -v -run 'TestInflight|TestImplicitFlow|TestAnalyzeShows|TestChaosInflight|TestFlow|TestParseStreamRel|TestTransportByAddr' ./internal/core/ ./internal/wire/
 
+# Sampling drill: probe bounds and filters at the engine, the stats RPC
+# round-trip, probe-driven first-run planning, cross-query feedback,
+# breaker skips, and degraded probes, under the race detector
+# (DESIGN.md "Sampling-based estimate refinement").
+chaos-sample:
+	$(GO) test -race -count=1 -v -run 'TestSample' ./internal/core/ ./internal/engine/ ./internal/wire/
+
 # Concurrency soak: burst admission, staggered mid-query cancellation,
 # and drain-under-load against a live cluster, under the race detector.
 soak:
@@ -78,5 +85,10 @@ bench-deploy:
 # re-optimization").
 bench-reopt:
 	$(GO) test -run '^$$' -bench='BenchmarkReopt' -benchtime=100x -count=1 ./internal/core/
+
+# The sampling A/B: the same join with probes off vs on, accurate vs
+# skewed statistics (EXPERIMENTS.md "Sampling-based refinement").
+bench-sample:
+	$(GO) test -run '^$$' -bench='BenchmarkSample' -benchtime=100x -count=1 ./internal/core/
 
 check: build vet test

@@ -164,6 +164,19 @@ func (c *Connector) CostOperator(ctx context.Context, kind engine.CostKind, left
 	return raw * c.calibration, nil
 }
 
+// Sample asks the DBMS to scan at most limit rows of a base table and
+// report the predicate match count plus a statistics sketch over the
+// scanned rows — the bounded-sample refinement probe (a consulting round
+// trip, like CostOperator, so it counts on Probes).
+func (c *Connector) Sample(ctx context.Context, table, alias, filter string, limit int64) (*engine.SampleResult, error) {
+	c.probes.Add(1)
+	res, err := c.client.Sample(reqCtx(ctx), c.Addr, c.Node, table, alias, filter, limit)
+	if err != nil {
+		return nil, fmt.Errorf("connector %s: sample(%s): %w", c.Node, table, err)
+	}
+	return res, nil
+}
+
 // DeployView creates a view through the vendor dialect.
 func (c *Connector) DeployView(ctx context.Context, name string, query *sqlparser.Select) error {
 	return c.Exec(ctx, c.Dialect.CreateView(name, query))

@@ -90,10 +90,20 @@ func (c *consultCache) key(node string, kind engine.CostKind, left, right, out f
 	}
 }
 
+// cacheable rejects non-finite cardinalities. bucketCard folds NaN/Inf
+// onto the 0 bucket, where a poisoned estimate would collide with a
+// legitimate zero-cardinality probe and serve it a wrong cached cost —
+// such probes bypass the cache entirely: never keyed, never stored, and
+// never counted as a hit or miss.
+func cacheable(left, right, out float64) bool {
+	finite := func(x float64) bool { return !math.IsInf(x, 0) && !math.IsNaN(x) }
+	return finite(left) && finite(right) && finite(out)
+}
+
 // lookup returns the cached cost for the probe, expiring the entry (and
 // counting an eviction) when its TTL has passed.
 func (c *consultCache) lookup(node string, kind engine.CostKind, left, right, out float64) (float64, bool) {
-	if c == nil {
+	if c == nil || !cacheable(left, right, out) {
 		return 0, false
 	}
 	k := c.key(node, kind, left, right, out)
@@ -120,7 +130,7 @@ func (c *consultCache) lookup(node string, kind engine.CostKind, left, right, ou
 // cached — a degraded estimate must not outlive the failure that caused
 // it.
 func (c *consultCache) store(node string, kind engine.CostKind, left, right, out, cost float64) {
-	if c == nil {
+	if c == nil || !cacheable(left, right, out) {
 		return
 	}
 	k := c.key(node, kind, left, right, out)

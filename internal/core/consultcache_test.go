@@ -102,6 +102,40 @@ func TestConsultCacheDisabledIsNil(t *testing.T) {
 	}
 }
 
+// TestConsultCacheNonFiniteBypass is the regression for the poisoned-key
+// collision: bucketCard folds NaN and Inf onto the 0 bucket, where a
+// non-finite probe would share an entry with a legitimate
+// zero-cardinality probe and serve it the wrong cost. Such probes must
+// bypass the cache entirely — never stored, never looked up, never
+// counted.
+func TestConsultCacheNonFiniteBypass(t *testing.T) {
+	c := newConsultCache(time.Minute)
+	// A legitimate zero-cardinality probe occupies the 0 bucket.
+	c.store("db1", engine.CostScan, 0, 0, 0, 7)
+
+	for _, bad := range []float64{math.NaN(), math.Inf(1), math.Inf(-1)} {
+		c.store("db1", engine.CostScan, bad, 0, 0, 999)
+		c.store("db1", engine.CostJoin, 100, bad, 50, 999)
+		c.store("db1", engine.CostJoin, 100, 200, bad, 999)
+		if _, ok := c.lookup("db1", engine.CostScan, bad, 0, 0); ok {
+			t.Errorf("lookup with cardinality %v hit the cache", bad)
+		}
+	}
+	// The poisoned stores neither grew the cache nor clobbered the
+	// legitimate zero entry.
+	if c.occupancy() != 1 {
+		t.Errorf("occupancy = %d after non-finite stores, want 1", c.occupancy())
+	}
+	if v, ok := c.lookup("db1", engine.CostScan, 0, 0, 0); !ok || v != 7 {
+		t.Errorf("zero-cardinality entry = (%v, %v), want (7, true)", v, ok)
+	}
+	// Bypassed probes are invisible to the hit/miss accounting: one hit
+	// from the legitimate lookup, nothing else.
+	if st := c.stats(); st.Hits != 1 || st.Misses != 0 {
+		t.Errorf("stats = %+v, want exactly 1 hit / 0 misses (bypasses uncounted)", st)
+	}
+}
+
 // annotateFake runs the full logical pipeline and annotation against the
 // fake coster (no live engines, no cross-query cache) and returns the
 // annotation, the coster, and the finalized plan's rendering.

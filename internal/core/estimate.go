@@ -142,8 +142,11 @@ func rangeSelectivity(x *sqlparser.BinaryExpr, s *Scan) float64 {
 		return 1.0 / 3
 	}
 	lo, hi := cs.Min.Float(), cs.Max.Float()
-	if cs.Min.T == sqltypes.TypeString {
-		return 1.0 / 3 // no interpolation for strings
+	if cs.Min.T == sqltypes.TypeString || lit.T == sqltypes.TypeString {
+		// No interpolation for strings — on either side: a string literal
+		// compared against numeric bounds would silently coerce to 0 via
+		// Float() and pin the selectivity to an endpoint.
+		return 1.0 / 3
 	}
 	v := lit.Float()
 	if hi <= lo {
@@ -160,9 +163,14 @@ func rangeSelectivity(x *sqlparser.BinaryExpr, s *Scan) float64 {
 	return 1.0 / 3
 }
 
-// fraction estimates the fraction of values in [lo, hi].
+// fraction estimates the fraction of values in [lo, hi]. Interpolation is
+// numeric only: string-typed column stats *and* string-typed literal
+// bounds fall back to the default fraction — Float() on a string value is
+// 0, so interpolating a string bound against numeric stats would silently
+// collapse the range onto the column minimum.
 func fraction(cs *engine.ColumnStats, lo, hi sqltypes.Value) float64 {
-	if cs.Min.IsNull() || cs.Max.IsNull() || cs.Min.T == sqltypes.TypeString {
+	if cs.Min.IsNull() || cs.Max.IsNull() || cs.Min.T == sqltypes.TypeString ||
+		lo.T == sqltypes.TypeString || hi.T == sqltypes.TypeString {
 		return 0.25
 	}
 	mn, mx := cs.Min.Float(), cs.Max.Float()
@@ -308,7 +316,7 @@ func applyCardFeedback(op Op, fb map[string]float64) int {
 	n := 0
 	switch x := op.(type) {
 	case *Scan:
-		if rows, ok := fb[logicalSig(x, nil)]; ok {
+		if rows, ok := fb[logicalSig(x, nil)]; ok && finiteCard(rows) {
 			x.est = math.Max(rows, 1)
 			n++
 		}
@@ -320,7 +328,7 @@ func applyCardFeedback(op Op, fb map[string]float64) int {
 			est *= exprSelectivity(res)
 		}
 		x.est = math.Max(est, 1)
-		if rows, ok := fb[logicalSig(x, nil)]; ok {
+		if rows, ok := fb[logicalSig(x, nil)]; ok && finiteCard(rows) {
 			x.est = math.Max(rows, 1)
 			n++
 		}
@@ -328,6 +336,14 @@ func applyCardFeedback(op Op, fb map[string]float64) int {
 		n += applyCardFeedback(x.In, fb)
 	}
 	return n
+}
+
+// finiteCard rejects non-finite observed cardinalities before they enter
+// an estimate: math.Max(NaN, 1) is NaN, so a single poisoned feedback
+// value would otherwise propagate through every ancestor join's
+// re-derived estimate and from there into movement costs.
+func finiteCard(v float64) bool {
+	return !math.IsNaN(v) && !math.IsInf(v, 0)
 }
 
 // estimateJoin estimates equi-join output with per-key distinct counts:

@@ -117,6 +117,9 @@ func (r *Result) Analyze() string {
 	if bd.Reopts > 0 || bd.EstimateErrors > 0 {
 		fmt.Fprintf(&b, "  reopt: reopts %d, estimate_errors %d\n", bd.Reopts, bd.EstimateErrors)
 	}
+	if bd.SampleProbes > 0 {
+		fmt.Fprintf(&b, "  sampling: probes %d\n", bd.SampleProbes)
+	}
 	return b.String()
 }
 

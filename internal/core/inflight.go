@@ -34,11 +34,16 @@ func nextQID() int64 { return qidSeq.Add(1) }
 // flowRouter maps live qids to their registry entries so the process-wide
 // wire sink can attribute events without a System in hand. A plan-cache
 // deployment shared by concurrent queries reuses one qid; the latest
-// registrant wins attribution for the overlap (see DESIGN.md §15).
+// registrant wins the route for the overlap (see DESIGN.md §15), but the
+// overlap is remembered in shared: while two live queries contend for one
+// qid, per-query attribution would be a lie, so the streams are marked
+// kind=shared instead of being silently credited to the newest query, and
+// xdb_edge_attr_ambiguous_total counts each detected overlap.
 var flowRouter = struct {
 	sync.RWMutex
-	m map[int64]*inflightEntry
-}{m: map[int64]*inflightEntry{}}
+	m      map[int64]*inflightEntry
+	shared map[int64]bool
+}{m: map[int64]*inflightEntry{}, shared: map[int64]bool{}}
 
 // coreFlowSink is the wire.FlowSink the core installs at package init.
 type coreFlowSink struct{}
@@ -46,9 +51,10 @@ type coreFlowSink struct{}
 func (coreFlowSink) FlowEvent(ev wire.FlowEvent) {
 	flowRouter.RLock()
 	ent := flowRouter.m[ev.QID]
+	shared := flowRouter.shared[ev.QID]
 	flowRouter.RUnlock()
 	if ent != nil {
-		ent.applyFlow(ev)
+		ent.applyFlow(ev, shared)
 	}
 }
 
@@ -73,7 +79,7 @@ type EdgeFlow struct {
 	QID  int64  `json:"qid"`
 	Task int    `json:"task"`
 	Rel  string `json:"rel"`
-	Kind string `json:"kind"` // implicit | explicit | barrier | result | unknown
+	Kind string `json:"kind"` // implicit | explicit | barrier | result | shared | unknown
 	From string `json:"from,omitempty"`
 	To   string `json:"to,omitempty"`
 	// Sig is the producing edge's logical signature (the PR 8 feedback
@@ -205,13 +211,24 @@ func (e *inflightEntry) attach(qid int64, plan *Plan) {
 	e.shape = planShape(plan)
 	e.mu.Unlock()
 	flowRouter.Lock()
+	if prev := flowRouter.m[qid]; prev != nil && prev != e {
+		// Two live queries share one warm deployment's qid: whichever rows
+		// flow now cannot honestly be credited to either. Mark the qid
+		// ambiguous — its streams render kind=shared — rather than silently
+		// attributing a shared stream to the newest registrant.
+		flowRouter.shared[qid] = true
+		met.edgeAttrAmbiguous.Inc()
+	}
 	flowRouter.m[qid] = e
 	flowRouter.Unlock()
 }
 
 // applyFlow folds one wire flow event into the entry's per-edge counters
-// and the process-wide edge metrics.
-func (e *inflightEntry) applyFlow(ev wire.FlowEvent) {
+// and the process-wide edge metrics. shared marks a qid contended by two
+// live queries (see flowRouter): the stream's traffic is still counted,
+// but under kind=shared with the per-query attribution (estimate,
+// signature) withheld — it belongs to neither query alone.
+func (e *inflightEntry) applyFlow(ev wire.FlowEvent, shared bool) {
 	key := flowKey{qid: ev.QID, task: ev.Task, ft: ev.FT}
 	e.mu.Lock()
 	fl := e.flows[key]
@@ -238,6 +255,11 @@ func (e *inflightEntry) applyFlow(ev wire.FlowEvent) {
 			fl.Kind = "barrier"
 		}
 		e.flows[key] = fl
+	}
+	if shared && fl.Kind != "shared" {
+		fl.Kind = "shared"
+		fl.EstRows = 0
+		fl.Sig = ""
 	}
 	if fl.From == "" && ev.From != "" {
 		fl.From = ev.From
@@ -290,7 +312,10 @@ func (e *inflightEntry) flowObserved(qid int64, task int) (int64, bool) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	fl := e.flows[flowKey{qid: qid, task: task}]
-	if fl == nil || !fl.Done {
+	// A shared stream's counters span every query contending for the
+	// qid, so its total is not this query's cardinality — refuse to
+	// report it rather than feed a cross-query sum into stats feedback.
+	if fl == nil || !fl.Done || fl.Kind == "shared" {
 		return 0, false
 	}
 	return fl.Rows(), true
@@ -386,6 +411,7 @@ func (r *inflightRegistry) deregister(ent *inflightEntry) {
 	for _, q := range qids {
 		if flowRouter.m[q] == ent {
 			delete(flowRouter.m, q)
+			delete(flowRouter.shared, q)
 		}
 	}
 	flowRouter.Unlock()

@@ -7,6 +7,7 @@ import (
 	"io"
 	"net/http"
 	"strings"
+	"sync"
 	"testing"
 )
 
@@ -272,6 +273,86 @@ func TestChaosInflightDrainsOnFailover(t *testing.T) {
 	cl.topo.ReviveNode("db3")
 	if _, remaining, err := cl.sys.SweepOrphans(); err != nil || remaining != 0 {
 		t.Errorf("post-revival sweep: remaining=%d err=%v", remaining, err)
+	}
+}
+
+// TestFlowSharedWarmDeployment is the regression for the shared-qid
+// attribution lie: two concurrent queries leasing one warm deployment
+// reuse one qid, and the router used to credit the whole overlap's
+// traffic to whichever query attached last — with the other query's
+// estimate and signature. The overlap must instead be detected
+// (xdb_edge_attr_ambiguous_total), its streams demoted to kind=shared
+// with per-query attribution withheld, and both routes still drained at
+// the end.
+func TestFlowSharedWarmDeployment(t *testing.T) {
+	opts := chaosOptions()
+	opts.PlanCacheSize = 4
+	cl := newChaosCluster(t, opts)
+	if _, err := cl.sys.Query(chaosQuery); err != nil {
+		t.Fatal(err) // warm the deployment both runs will lease
+	}
+
+	before := met.edgeAttrAmbiguous.Value()
+	// Hold both queries at the pre-execution hook until each has attached
+	// its attempt — the second attach is the ambiguity.
+	var barrier sync.WaitGroup
+	barrier.Add(2)
+	cl.sys.hookBeforeAttempt = func(int) {
+		barrier.Done()
+		barrier.Wait()
+	}
+	var wg sync.WaitGroup
+	var res [2]*Result
+	var errs [2]error
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			res[i], errs[i] = cl.sys.Query(chaosQuery)
+		}(i)
+	}
+	wg.Wait()
+	cl.sys.hookBeforeAttempt = nil
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("concurrent query %d: %v", i, err)
+		}
+	}
+	if !res[0].Breakdown.PlanCacheHit || !res[1].Breakdown.PlanCacheHit {
+		t.Fatalf("warm deployment not shared (hits %v/%v) — scenario broken",
+			res[0].Breakdown.PlanCacheHit, res[1].Breakdown.PlanCacheHit)
+	}
+
+	if got := met.edgeAttrAmbiguous.Value() - before; got < 1 {
+		t.Errorf("xdb_edge_attr_ambiguous_total delta = %d, want >= 1", got)
+	}
+	// The contended qid's streams surface as kind=shared with the
+	// per-query attribution withheld, not as a silently mis-credited
+	// implicit/result edge.
+	var shared *EdgeFlow
+	for i := range res {
+		for j, f := range res[i].Flows {
+			if f.Kind == "shared" {
+				shared = &res[i].Flows[j]
+			}
+		}
+	}
+	if shared == nil {
+		t.Fatalf("no kind=shared flow on either query:\n%+v\n%+v", res[0].Flows, res[1].Flows)
+	}
+	if shared.EstRows != 0 || shared.Sig != "" {
+		t.Errorf("shared flow kept per-query attribution: est=%v sig=%q", shared.EstRows, shared.Sig)
+	}
+	if got, want := rowsText(res[0]), rowsText(res[1]); got != want {
+		t.Errorf("concurrent warm results differ:\n%s\nvs\n%s", got, want)
+	}
+	// Both deregistrations clean their routes and the shared mark.
+	assertIntrospectionDrained(t, cl.sys)
+	flowRouter.RLock()
+	sharedLeft := len(flowRouter.shared)
+	flowRouter.RUnlock()
+	if sharedLeft != 0 {
+		t.Errorf("flow router still holds %d shared marks after drain", sharedLeft)
 	}
 }
 

@@ -38,6 +38,10 @@ var met = struct {
 	failovers      *obs.Counter
 	edgeRows       *obs.CounterVec // by edge kind
 	edgeBytes      *obs.CounterVec // by edge kind
+
+	sampleProbes      *obs.CounterVec // by outcome
+	sampleDur         *obs.Histogram
+	edgeAttrAmbiguous *obs.Counter
 }{
 	queries: obs.Default.CounterVec("xdb_queries_total",
 		"Queries by outcome: ok, error, canceled, shed_overload, shed_timeout, shed_draining.", "outcome"),
@@ -80,9 +84,15 @@ var met = struct {
 	failovers: obs.Default.Counter("xdb_failover_total",
 		"Queries that survived a mid-query fault (suffix replan or mediator fallback)."),
 	edgeRows: obs.Default.CounterVec("xdb_edge_rows_total",
-		"Rows observed on attributed wire streams by edge kind (implicit, explicit, barrier, result, unknown), counted at the receiving end.", "kind"),
+		"Rows observed on attributed wire streams by edge kind (implicit, explicit, barrier, result, shared, unknown), counted at the receiving end.", "kind"),
 	edgeBytes: obs.Default.CounterVec("xdb_edge_bytes_total",
 		"Wire bytes (frame headers included) of attributed result streams by edge kind, counted at the receiving end.", "kind"),
+	sampleProbes: obs.Default.CounterVec("xdb_sample_probes_total",
+		"Bounded-sample estimate-refinement probes by outcome: sampled (probe corrected an estimate), agreed (probe confirmed it), degraded_error (probe failed, plain estimate kept), skipped_breaker (node's breaker open, probe never sent).", "outcome"),
+	sampleDur: obs.Default.Histogram("xdb_sample_probe_duration_seconds",
+		"Sampling probe round-trip latency.", nil),
+	edgeAttrAmbiguous: obs.Default.Counter("xdb_edge_attr_ambiguous_total",
+		"Warm-deployment qid overlaps between concurrent queries: the shared streams are marked kind=shared instead of being credited to the newest query."),
 }
 
 // queryOutcome maps a QueryContext result to its metrics label.

@@ -106,6 +106,19 @@ type Options struct {
 	// trigger a suffix re-optimization. Zero means
 	// DefaultReoptThreshold.
 	ReoptThreshold float64
+	// SampleLimit enables proactive sampling-based estimate refinement:
+	// before a cross-database query's joins are ordered and placed, each
+	// low-confidence relation (no column statistics, a known-stale
+	// statsOverride, an ambiguous movement decision, or a reported row
+	// count the probe can verify outright — see sample.go) is probed with
+	// a bounded sample of at most SampleLimit rows, and the observed
+	// match count and statistics sketch replace the plain estimate before
+	// anything ships. Zero (the paper configuration) disables sampling.
+	SampleLimit int
+	// SampleTrigger is the shipping-volume ratio under which the two
+	// cheapest relations' movement decision counts as ambiguous and both
+	// get sample-verified. Zero means DefaultSampleTrigger.
+	SampleTrigger float64
 
 	// ConsultCacheTTL enables the cross-query consult cache: successful
 	// CostOperator probe results are memoized per (node, operator kind,

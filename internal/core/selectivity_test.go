@@ -49,6 +49,62 @@ func TestExprSelectivityOr(t *testing.T) {
 	}
 }
 
+// TestRangeSelectivityStringLiteral is the regression for the typed-bound
+// guard: a string literal compared against a numerically-tracked column
+// used to interpolate Float()==0 against the min/max range, pinning the
+// selectivity to an endpoint (0.001 for <, 1.0 for >). Both directions
+// must fall back to the 1/3 range default instead.
+func TestRangeSelectivityStringLiteral(t *testing.T) {
+	c := newTestCatalog()
+
+	// m_id is int with min 0, max 10000. 'x'.Float() is 0: the broken
+	// interpolation put the literal at the column minimum, estimating the
+	// whole table for > and the 0.001 floor for <. The guard keeps both
+	// at the 1/3 default, ~3333.
+	b, _, _ := analyze(t, c, "SELECT m_id FROM medium WHERE m_id > 'x'")
+	if est := b.aliases["medium"].Est(); est < 3000 || est > 3700 {
+		t.Errorf("int > string-literal estimate = %v, want ~3333 (1/3 default, no endpoint pinning)", est)
+	}
+	b, _, _ = analyze(t, c, "SELECT m_id FROM medium WHERE m_id < 'x'")
+	if est := b.aliases["medium"].Est(); est < 3000 || est > 3700 {
+		t.Errorf("int < string-literal estimate = %v, want ~3333 (not the 0.001 floor)", est)
+	}
+	// Mirrored literal-first form takes the same guard.
+	b, _, _ = analyze(t, c, "SELECT m_id FROM medium WHERE 'x' < m_id")
+	if est := b.aliases["medium"].Est(); est < 3000 || est > 3700 {
+		t.Errorf("string-literal < int estimate = %v, want ~3333", est)
+	}
+	// Numeric literals still interpolate: m_id < 1000 over [0, 10000] is
+	// one tenth of the table.
+	b, _, _ = analyze(t, c, "SELECT m_id FROM medium WHERE m_id < 1000")
+	if est := b.aliases["medium"].Est(); est < 900 || est > 1100 {
+		t.Errorf("numeric range estimate = %v, want ~1000 (guard must not disable interpolation)", est)
+	}
+}
+
+// TestBetweenStringBounds is the companion regression for fraction():
+// BETWEEN with string-typed bounds on a numeric column collapsed both
+// bounds onto the column minimum (a = b = 0), leaving the 0.001 floor.
+// String bounds on either side must take the 0.25 BETWEEN default.
+func TestBetweenStringBounds(t *testing.T) {
+	c := newTestCatalog()
+	for _, sql := range []string{
+		"SELECT m_id FROM medium WHERE m_id BETWEEN 'aaa' AND 'zzz'",
+		"SELECT m_id FROM medium WHERE m_id BETWEEN 0 AND 'zzz'",
+		"SELECT m_id FROM medium WHERE m_id BETWEEN 'aaa' AND 10000",
+	} {
+		b, _, _ := analyze(t, c, sql)
+		if est := b.aliases["medium"].Est(); est < 2000 || est > 3000 {
+			t.Errorf("%s: estimate = %v, want ~2500 (0.25 default)", sql, est)
+		}
+	}
+	// Numeric bounds still interpolate: the middle fifth of [0, 10000].
+	b, _, _ := analyze(t, c, "SELECT m_id FROM medium WHERE m_id BETWEEN 4000 AND 6000")
+	if est := b.aliases["medium"].Est(); est < 1800 || est > 2200 {
+		t.Errorf("numeric BETWEEN estimate = %v, want ~2000", est)
+	}
+}
+
 // TestEstimateScanOrSelectivity drives the fix through the scan estimator
 // with real column statistics: overlapping date ranges must not saturate
 // to the full table.

@@ -337,6 +337,11 @@ type Breakdown struct {
 	// misestimations the feedback loop caught, whether or not the
 	// re-optimization budget allowed acting on them.
 	EstimateErrors int
+	// SampleProbes counts the bounded-sample refinement probes the
+	// optimizer decided to issue (Options.SampleLimit), across attempts;
+	// the xdb_sample_probes_total metric splits them by outcome. Zero
+	// with sampling disabled.
+	SampleProbes int
 }
 
 // Total returns the end-to-end time, admission wait included — a queued
@@ -509,11 +514,27 @@ func (s *System) plan(ctx context.Context, sql string, bd *Breakdown, feedback m
 		return nil, err
 	}
 	b, joinConjs, canon, err := buildLogical(s.catalog, sel)
-	prepSpan.SetErr(err)
-	prepSpan.Finish()
 	if err != nil {
+		prepSpan.SetErr(err)
+		prepSpan.Finish()
 		return nil, err
 	}
+	// Sampling-based estimate refinement (sample.go): probe the
+	// low-confidence relations before the joins are ordered and placed,
+	// so both decisions see the refined cardinalities. Part of
+	// preparation — it refines the statistics gathering just gathered.
+	if s.opts.SampleLimit > 0 {
+		scans := make([]*Scan, 0, len(b.order))
+		for _, alias := range b.order {
+			scans = append(scans, b.aliases[alias])
+		}
+		n := s.sampleRefine(pctx, scans)
+		bd.SampleProbes += n
+		if n > 0 {
+			prepSpan.Set("samples", strconv.Itoa(n))
+		}
+	}
+	prepSpan.Finish()
 	bd.Prep += time.Since(start)
 
 	// --- Logical optimization: pushdowns happened during build; order
@@ -908,6 +929,9 @@ func (s *System) logSlowQuery(sql string, wall time.Duration, bd *Breakdown, pla
 	}
 	if bd.EstimateErrors > 0 {
 		attrs = append(attrs, "estimate_errors", bd.EstimateErrors)
+	}
+	if bd.SampleProbes > 0 {
+		attrs = append(attrs, "sample_probes", bd.SampleProbes)
 	}
 	if bd.FailedOver {
 		attrs = append(attrs, "failed_over", true)

@@ -1,0 +1,145 @@
+package engine
+
+import (
+	"fmt"
+	"testing"
+
+	"xdb/internal/sqltypes"
+)
+
+func sampleEngine(t *testing.T, rows int) *Engine {
+	t.Helper()
+	e := New(Config{Name: "db1", Vendor: VendorTest})
+	schema := sqltypes.NewSchema(
+		sqltypes.Column{Name: "id", Type: sqltypes.TypeInt},
+		sqltypes.Column{Name: "grp", Type: sqltypes.TypeInt},
+	)
+	data := make([]sqltypes.Row, rows)
+	for i := range data {
+		data[i] = sqltypes.Row{sqltypes.NewInt(int64(i)), sqltypes.NewInt(int64(i % 4))}
+	}
+	if err := e.LoadTable("nums", schema, data); err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+// TestSampleBounds pins the probe's row bound and exhaustion semantics:
+// Scanned never exceeds the limit, Exhausted is set exactly when the
+// whole table was read, and the statistics sketch covers the scanned
+// prefix only.
+func TestSampleBounds(t *testing.T) {
+	e := sampleEngine(t, 10)
+	cases := []struct {
+		limit     int64
+		scanned   int64
+		exhausted bool
+	}{
+		{4, 4, false},
+		{10, 10, true},
+		{100, 10, true},
+	}
+	for _, c := range cases {
+		res, err := e.Sample("nums", "", "", c.limit)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Scanned != c.scanned || res.Exhausted != c.exhausted {
+			t.Errorf("Sample(limit=%d) = scanned %d exhausted %v, want %d/%v",
+				c.limit, res.Scanned, res.Exhausted, c.scanned, c.exhausted)
+		}
+		if res.Matched != res.Scanned {
+			t.Errorf("filterless probe matched %d of %d scanned", res.Matched, res.Scanned)
+		}
+		if res.Stats == nil || res.Stats.RowCount != c.scanned {
+			t.Errorf("Sample(limit=%d) stats over %v rows, want the %d scanned",
+				c.limit, res.Stats, c.scanned)
+		}
+	}
+	// An exhausted probe's sketch is exact: 10 distinct ids, 4 groups.
+	res, err := e.Sample("nums", "", "", 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cs := res.Stats.Column("id"); cs == nil || cs.Distinct != 10 {
+		t.Errorf("exhausted id distinct = %+v, want 10", cs)
+	}
+	if cs := res.Stats.Column("grp"); cs == nil || cs.Distinct != 4 {
+		t.Errorf("exhausted grp distinct = %+v, want 4", cs)
+	}
+}
+
+// TestSampleFilter checks predicate evaluation over the scanned prefix,
+// with and without a query alias qualifying the columns.
+func TestSampleFilter(t *testing.T) {
+	e := sampleEngine(t, 10)
+	// Aliased: the probe's filter arrives qualified by the query alias.
+	res, err := e.Sample("nums", "n", "n.id < 5", 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Matched != 5 || res.Scanned != 10 {
+		t.Errorf("aliased filter matched %d of %d, want 5 of 10", res.Matched, res.Scanned)
+	}
+	// Unaliased queries qualify by the table name.
+	res, err = e.Sample("nums", "", "nums.grp = 0", 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Matched != 3 {
+		t.Errorf("table-qualified filter matched %d, want 3", res.Matched)
+	}
+	// A truncated probe counts matches among the scanned prefix only.
+	res, err = e.Sample("nums", "n", "n.id < 5", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Matched != 3 || res.Exhausted {
+		t.Errorf("truncated probe = matched %d exhausted %v, want 3/false", res.Matched, res.Exhausted)
+	}
+}
+
+// TestSampleErrors pins the failure modes: non-positive limits, unknown
+// or non-base relations, and malformed filters all error out instead of
+// returning a half-truth.
+func TestSampleErrors(t *testing.T) {
+	e := sampleEngine(t, 10)
+	if _, err := e.Sample("nums", "", "", 0); err == nil {
+		t.Error("limit 0 succeeded")
+	}
+	if _, err := e.Sample("nums", "", "", -3); err == nil {
+		t.Error("negative limit succeeded")
+	}
+	if _, err := e.Sample("nosuch", "", "", 10); err == nil {
+		t.Error("unknown table succeeded")
+	}
+	if _, err := e.Sample("nums", "n", "n.id <", 10); err == nil {
+		t.Error("malformed filter succeeded")
+	}
+	if _, err := e.Sample("nums", "n", "n.nosuch = 1", 10); err == nil {
+		t.Error("filter over an unknown column succeeded")
+	}
+	// Views are not sampleable: the probe prices a physical scan.
+	if err := e.Exec("CREATE VIEW v AS SELECT id FROM nums"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Sample("v", "", "", 10); err == nil {
+		t.Error("sampling a view succeeded")
+	}
+}
+
+// TestSampleDoesNotCountQueriesServed keeps the probe out of the
+// execution accounting: like Stats and CostOperator it is control
+// plane, not query execution.
+func TestSampleDoesNotCountQueriesServed(t *testing.T) {
+	e := sampleEngine(t, 10)
+	before := e.QueriesServed()
+	for i := 0; i < 3; i++ {
+		if _, err := e.Sample("nums", "", fmt.Sprintf("nums.id < %d", i+1), 5); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := e.QueriesServed(); got != before {
+		t.Errorf("QueriesServed moved %d -> %d across sample probes", before, got)
+	}
+}

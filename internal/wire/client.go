@@ -280,6 +280,21 @@ func (c *Client) Cost(ctx context.Context, addr, toNode string, kind engine.Cost
 	return v, r.err
 }
 
+// Sample asks the remote engine to scan at most limit rows of a base
+// table and report the predicate match count plus a statistics sketch
+// over the scanned rows — the bounded-sample refinement probe. Idempotent
+// and retriable: a sample reads, it never mutates.
+func (c *Client) Sample(ctx context.Context, addr, toNode, table, alias, filter string, limit int64) (*engine.SampleResult, error) {
+	typ, resp, err := c.roundTrip(ctx, addr, toNode, msgSample, encodeSampleProbe(table, alias, filter, limit), true)
+	if err != nil {
+		return nil, err
+	}
+	if typ != msgSampleRes {
+		return nil, fmt.Errorf("wire: unexpected response type %d to Sample", typ)
+	}
+	return decodeSampleRes(resp)
+}
+
 // Query runs a SELECT remotely and returns the result schema plus a
 // streaming iterator over the response frames. The iterator releases its
 // connection back to the pool when the stream completes cleanly (msgEnd or

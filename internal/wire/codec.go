@@ -102,6 +102,57 @@ func decodeCostProbe(payload []byte) (engine.CostKind, float64, float64, float64
 	return kind, l, ri, o, r.err
 }
 
+// encodeSampleProbe serializes a bounded-sample probe request.
+func encodeSampleProbe(table, alias, filter string, limit int64) []byte {
+	var b []byte
+	b = appendString32(b, table)
+	b = appendString32(b, alias)
+	b = appendString32(b, filter)
+	b = appendUint64(b, uint64(limit))
+	return b
+}
+
+// decodeSampleProbe parses a bounded-sample probe request.
+func decodeSampleProbe(payload []byte) (table, alias, filter string, limit int64, err error) {
+	r := &reader{b: payload}
+	table, alias, filter = r.string32(), r.string32(), r.string32()
+	limit = int64(r.uint64())
+	return table, alias, filter, limit, r.err
+}
+
+// encodeSampleRes serializes a SampleResult: the counts, the exhaustion
+// flag, and the per-column statistics sketch reusing the stats codec.
+func encodeSampleRes(res *engine.SampleResult) []byte {
+	var b []byte
+	b = appendUint64(b, uint64(res.Scanned))
+	b = appendUint64(b, uint64(res.Matched))
+	var ex uint64
+	if res.Exhausted {
+		ex = 1
+	}
+	b = appendUint64(b, ex)
+	return append(b, encodeStats(res.Stats)...)
+}
+
+// decodeSampleRes parses a SampleResult payload.
+func decodeSampleRes(payload []byte) (*engine.SampleResult, error) {
+	r := &reader{b: payload}
+	res := &engine.SampleResult{
+		Scanned:   int64(r.uint64()),
+		Matched:   int64(r.uint64()),
+		Exhausted: r.uint64() == 1,
+	}
+	if r.err != nil {
+		return nil, r.err
+	}
+	st, err := decodeStats(payload[r.off:])
+	if err != nil {
+		return nil, err
+	}
+	res.Stats = st
+	return res, nil
+}
+
 // encodeRowBatch serializes rows with the given encoding, returning the
 // payload and the frame type to use.
 func encodeRowBatch(rows []sqltypes.Row, enc engine.Encoding) ([]byte, byte) {

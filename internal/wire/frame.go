@@ -22,6 +22,7 @@ const (
 	msgStats   byte = 4 // payload: table name; response: StatsRes | Error
 	msgCost    byte = 5 // payload: cost probe; response: CostRes | Error
 	msgTblSch  byte = 6 // payload: table name; response: Schema | Error
+	msgSample  byte = 7 // payload: sample probe; response: SampleRes | Error
 )
 
 // frame types, server -> client.
@@ -35,6 +36,7 @@ const (
 	msgExplainRes byte = 16 // payload: cost, rows float64 + text
 	msgStatsRes   byte = 17 // payload: encoded TableStats
 	msgCostRes    byte = 18 // payload: cost float64
+	msgSampleRes  byte = 19 // payload: encoded sample result (counts + stats sketch)
 )
 
 // maxFrame bounds a frame payload; large results are split into many row

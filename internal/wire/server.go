@@ -173,6 +173,21 @@ func (s *Server) serveConn(conn net.Conn) {
 			if _, err := writeFrame(conn, msgCostRes, appendFloat64(nil, cost)); err != nil {
 				return
 			}
+		case msgSample:
+			table, alias, filter, limit, err := decodeSampleProbe(payload)
+			if err == nil {
+				var res *engine.SampleResult
+				res, err = s.eng.Sample(table, alias, filter, limit)
+				if err == nil {
+					if _, werr := writeFrame(conn, msgSampleRes, encodeSampleRes(res)); werr != nil {
+						return
+					}
+					continue
+				}
+			}
+			if werr := s.writeError(conn, err); werr != nil {
+				return
+			}
 		default:
 			if werr := s.writeError(conn, fmt.Errorf("wire: unknown request type %d", typ)); werr != nil {
 				return

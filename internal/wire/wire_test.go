@@ -130,6 +130,38 @@ func TestExplainAndStatsRPC(t *testing.T) {
 	}
 }
 
+func TestSampleRPC(t *testing.T) {
+	e, s := newServedEngine(t, "db1", engine.VendorTest)
+	loadNumbers(t, e, "t", 100)
+	c := NewClient("client", nil)
+	// Truncated probe: bounded scan, lower-bound counts, no exhaustion.
+	res, err := c.Sample(context.Background(), s.Addr(), "db1", "t", "x", "x.id < 500", 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Scanned != 40 || res.Matched != 40 || res.Exhausted {
+		t.Fatalf("truncated probe = %+v, want scanned 40, matched 40, not exhausted", res)
+	}
+	// Exhausted probe: the stats sketch round-trips exactly.
+	res, err = c.Sample(context.Background(), s.Addr(), "db1", "t", "x", "x.id < 25", 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Scanned != 100 || res.Matched != 25 || !res.Exhausted {
+		t.Fatalf("exhausted probe = %+v, want scanned 100, matched 25, exhausted", res)
+	}
+	if res.Stats == nil || res.Stats.RowCount != 100 {
+		t.Fatalf("stats = %+v", res.Stats)
+	}
+	if cs := res.Stats.Column("id"); cs == nil || cs.Distinct != 100 || cs.Min.Int() != 0 || cs.Max.Int() != 99 {
+		t.Fatalf("id stats after round trip: %+v", cs)
+	}
+	// Remote errors surface with the node name, like every other RPC.
+	if _, err := c.Sample(context.Background(), s.Addr(), "db1", "nosuch", "", "", 10); err == nil || !strings.Contains(err.Error(), "db1") {
+		t.Errorf("unknown-table sample error = %v", err)
+	}
+}
+
 func TestCostRPC(t *testing.T) {
 	_, s := newServedEngine(t, "db1", engine.VendorMariaDB)
 	c := NewClient("client", nil)
